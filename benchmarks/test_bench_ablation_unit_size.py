@@ -1,0 +1,98 @@
+"""Ablation — unit output size vs. user blocking (section 6).
+
+"We choose to construct one new leaf page at a time for the leaf page
+reorganization.  While we could construct more than one page, it would
+require the reorganization unit to hold locks longer, thus it will block
+more user transactions."
+
+The ablation runs the same concurrent workload against pass 1 configured
+with max_unit_output_pages ∈ {1, 2, 4} and measures both sides of the
+trade-off: user wait times (locks held ~k× longer per unit) against the
+number of units (transaction-overhead analogue).
+"""
+
+import pytest
+
+from repro.btree.protocols import reader_search, updater_insert
+from repro.config import ReorgConfig, TreeConfig
+from repro.db import Database
+from repro.reorg.protocols import ReorgProtocol
+from repro.sim.metrics import collect_metrics
+from repro.sim.workload import build_sparse_tree
+from repro.storage.page import Record
+from repro.txn.scheduler import Scheduler
+
+from conftest import banner
+
+N_RECORDS = 3000
+UNIT_SIZES = [1, 2, 4]
+
+
+def run_with_unit_size(n_pages):
+    db = Database(
+        TreeConfig(
+            leaf_capacity=8,
+            internal_capacity=32,
+            leaf_extent_pages=2048,
+            internal_extent_pages=512,
+            buffer_pool_pages=256,
+        )
+    )
+    tree = build_sparse_tree(db, n_records=N_RECORDS, fill_after=0.3)
+    live = [r.key for r in tree.items()]
+    db.flush()
+    db.checkpoint()
+    sched = Scheduler(db.locks, store=db.store, log=db.log, io_time=0.02)
+    config = ReorgConfig(target_fill=0.9, max_unit_output_pages=n_pages)
+    protocol = ReorgProtocol(
+        db, "primary", config, unit_pause=0.02, op_duration=0.25
+    )
+    reorg_txn = sched.spawn(
+        protocol.pass1(), name="reorg", is_reorganizer=True
+    )
+    # A dense reader stream: enough collisions with the reorganizer's RX
+    # windows that residual waits become measurable.
+    for i in range(700):
+        if i % 7 == 0:
+            sched.spawn(
+                updater_insert(db, "primary", Record(100_000 + i, "w")),
+                at=0.05 * i,
+            )
+        else:
+            sched.spawn(
+                reader_search(db, "primary", live[(i * 13) % len(live)]),
+                at=0.05 * i,
+            )
+    sched.run()
+    assert sched.failed == []
+    metrics = collect_metrics(sched, reorg_txn=reorg_txn)
+    units = sched.completed[-1][1]["units"] if isinstance(
+        sched.completed[-1][1], dict
+    ) else next(
+        result["units"] for txn, result in sched.completed if txn is reorg_txn
+    )
+    db.tree().validate()
+    return metrics, units
+
+
+def test_ablation_unit_output_size(benchmark):
+    banner("Ablation — unit output size vs user blocking (section 6)")
+    print(
+        f"{'pages/unit':>11} {'units':>6} {'blocked':>8} {'rx-backoffs':>12} "
+        f"{'mean wait':>10} {'max wait':>9}"
+    )
+    rows = {}
+    for n_pages in UNIT_SIZES:
+        metrics, units = run_with_unit_size(n_pages)
+        rows[n_pages] = (metrics, units)
+        print(
+            f"{n_pages:>11} {units:>6} {metrics.blocked_txns:>8} "
+            f"{metrics.rx_backoffs:>12} {metrics.mean_wait:>10.3f} "
+            f"{metrics.max_wait:>9.3f}"
+        )
+    # Bigger units = fewer units of work (less per-unit overhead) ...
+    assert rows[4][1] < rows[1][1] / 2
+    # ... but a colliding transaction waits out a longer RX window: the
+    # worst-case user wait grows with the unit size.
+    assert rows[4][0].max_wait > rows[1][0].max_wait
+    benchmark.pedantic(lambda: run_with_unit_size(2), rounds=1, iterations=1)

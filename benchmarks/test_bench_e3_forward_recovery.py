@@ -1,0 +1,149 @@
+"""E3 — forward recovery vs. rollback: work preserved across crashes.
+
+Paper section 8: "We introduce a new recovery method: forward recovery.
+It will resume the work instead of aborting the work as a normal recovery
+method will do.  This will make reorganization faster in case of system
+failure.  [Smi90] treats each leaf page operation as a database
+transaction, so it is rolled back if interrupted."
+
+The sweep crashes pass 1 at k% of its log volume (k in {10..90}) and
+recovers both ways:
+
+* **forward** — the interrupted unit is finished from its logged prefix;
+* **rollback** — the interrupted unit's moves are inverted ([Smi90]).
+
+Reported: units completed at the crash, the fate of the in-flight unit,
+and the records-moved work preserved vs. thrown away.
+"""
+
+import pytest
+
+from repro.config import ReorgConfig
+from repro.errors import CrashPoint
+from repro.reorg.reorganizer import Reorganizer
+from repro.reorg.unit import UnitEngine
+from repro.sim.crash import LogCrashInjector, count_completed_units, crash_recover
+from repro.wal.records import ReorgMoveInRecord
+
+from conftest import banner, degrade_uniform, make_db
+
+N_RECORDS = 2500
+
+
+def reorg_log_length():
+    """Log appends a full pass 1 takes on this workload (calibration)."""
+    db = make_db(internal_capacity=16)
+    tree = degrade_uniform(db, N_RECORDS, 0.3)
+    mark = db.log.last_lsn
+    Reorganizer(db, tree, ReorgConfig()).run_pass1()
+    return db.log.last_lsn - mark
+
+
+def crash_pass1_at(crash_after):
+    db = make_db(internal_capacity=16)
+    tree = degrade_uniform(db, N_RECORDS, 0.3)
+    reorg = Reorganizer(db, tree, ReorgConfig())
+    crashed = False
+    try:
+        with LogCrashInjector(db.log, after_records=crash_after):
+            reorg.run_pass1()
+    except CrashPoint:
+        crashed = True
+    return db, crashed
+
+
+def moved_records_in_flight(pending):
+    """Records the interrupted unit had already moved when the crash hit."""
+    return sum(
+        len(r.keys)
+        for r in pending.records
+        if isinstance(r, ReorgMoveInRecord)
+    )
+
+
+def test_e3_crash_sweep(benchmark):
+    banner("E3 — forward recovery vs rollback across crash points (section 5.1 / 8)")
+    total = reorg_log_length()
+    print(f"(pass 1 writes ~{total} log records on this workload)\n")
+    print(
+        f"{'crash@':>7} {'units done':>11} {'in-flight moved':>16} "
+        f"{'forward keeps':>14} {'rollback keeps':>15}"
+    )
+    preserved_forward = 0
+    preserved_rollback = 0
+    for percent in range(10, 100, 10):
+        crash_after = max(2, total * percent // 100)
+        # Forward recovery.
+        db_f, crashed = crash_pass1_at(crash_after)
+        assert crashed
+        done_before = count_completed_units(db_f.log)
+        recovery_f = crash_recover(db_f)
+        in_flight = (
+            moved_records_in_flight(recovery_f.pending_unit)
+            if recovery_f.pending_unit
+            else 0
+        )
+        forward_keeps = in_flight
+        if recovery_f.pending_unit is not None:
+            UnitEngine(db_f, db_f.tree()).finish_unit(recovery_f.pending_unit)
+        db_f.tree().validate()
+        # Rollback (Smith policy) on an identical crash.
+        db_r, _ = crash_pass1_at(crash_after)
+        recovery_r = crash_recover(db_r)
+        rollback_keeps = 0
+        if recovery_r.pending_unit is not None:
+            rolled = UnitEngine(db_r, db_r.tree()).rollback_unit(
+                recovery_r.pending_unit
+            )
+            if not rolled:  # unit was past its commit point
+                rollback_keeps = moved_records_in_flight(recovery_r.pending_unit)
+        db_r.tree().validate()
+        preserved_forward += forward_keeps
+        preserved_rollback += rollback_keeps
+        print(
+            f"{percent:>6}% {done_before:>11} {in_flight:>16} "
+            f"{forward_keeps:>14} {rollback_keeps:>15}"
+        )
+    print(
+        f"\nin-flight records preserved across the sweep: "
+        f"forward={preserved_forward}, rollback={preserved_rollback}"
+    )
+    # Forward recovery preserves all in-flight work; rollback discards it.
+    assert preserved_forward > preserved_rollback
+    benchmark.pedantic(
+        lambda: crash_pass1_at(max(2, total // 2)), rounds=1, iterations=1
+    )
+
+
+def test_e3_forward_recovery_is_correct_at_every_point(benchmark):
+    """Exhaustive fine sweep near the start of pass 1: the tree must be
+    intact after forward recovery at *every* crash offset."""
+    expected = None
+    for crash_after in range(2, 40, 2):
+        db, crashed = crash_pass1_at(crash_after)
+        assert crashed
+        recovery = crash_recover(db)
+        if recovery.pending_unit is not None:
+            UnitEngine(db, db.tree()).finish_unit(recovery.pending_unit)
+        tree = db.tree()
+        tree.validate()
+        keys = [r.key for r in tree.items()]
+        if expected is None:
+            expected = keys
+        assert keys == expected, crash_after
+    benchmark.pedantic(lambda: crash_pass1_at(10), rounds=1, iterations=1)
+
+
+def test_e3_recovery_log_overhead(benchmark):
+    """Forward recovery adds only the records needed to *finish* the unit;
+    rollback adds inverse-move records of comparable size — the win is the
+    preserved work, not the log volume (section 8)."""
+    total = reorg_log_length()
+    db, _ = crash_pass1_at(max(2, total // 3))
+    recovery = crash_recover(db)
+    before = db.log.stats.records_appended
+    if recovery.pending_unit is not None:
+        UnitEngine(db, db.tree()).finish_unit(recovery.pending_unit)
+    forward_records = db.log.stats.records_appended - before
+    assert forward_records < 60
+    benchmark(lambda: count_completed_units(db.log))

@@ -1,0 +1,127 @@
+"""E4 — log volume: careful writing shrinks MOVE records to keys only.
+
+Paper section 5: "Instead of record content, we could use only the keys of
+records if 'careful writing' by the buffer manager is enforced [LT95]. ...
+(When we do swapping of leaf pages there is no way to avoid logging at
+least one of the full page contents.)"  And section 6.1: "swapping cannot
+take advantage of careful writing ... Since log size is a significant
+factor in reorganization methods, this is important."
+
+The experiment runs the identical full reorganization with careful writing
+on and off, for several record payload sizes, and reports total log bytes,
+MOVE-record bytes, and SWAP-record bytes.
+"""
+
+import pytest
+
+from repro.config import FreeSpacePolicy, ReorgConfig
+from repro.reorg.reorganizer import Reorganizer
+
+from conftest import banner, degrade_uniform, make_db
+from repro.storage.page import Record
+import random
+
+N_RECORDS = 2500
+PAYLOADS = [8, 64, 256]
+
+
+def degrade_with_payload(db, payload_bytes, seed=7):
+    tree = db.bulk_load_tree(
+        [Record(k, "x" * payload_bytes) for k in range(N_RECORDS)],
+        leaf_fill=1.0,
+        internal_fill=0.5,
+    )
+    rng = random.Random(seed)
+    for key in rng.sample(range(N_RECORDS), int(N_RECORDS * 0.7)):
+        tree.delete(key)
+    db.flush()
+    db.checkpoint()
+    return tree
+
+
+def log_volume(careful, payload_bytes, policy=FreeSpacePolicy.PAPER):
+    db = make_db(internal_capacity=16, careful_writing=careful)
+    tree = degrade_with_payload(db, payload_bytes)
+    db.log.stats.reset()
+    Reorganizer(
+        db, tree, ReorgConfig(target_fill=0.9, free_space_policy=policy)
+    ).run()
+    db.tree().validate()
+    return db.log.stats
+
+
+def test_e4_careful_writing_log_volume(benchmark):
+    banner("E4 — reorganization log volume with/without careful writing (section 5)")
+    print(
+        f"{'payload':>8} {'careful':>8} {'total KB':>9} {'move KB':>8} "
+        f"{'swap KB':>8} {'records':>8}"
+    )
+    cells = {}
+    for payload in PAYLOADS:
+        for careful in (True, False):
+            stats = log_volume(careful, payload)
+            cells[(payload, careful)] = stats
+            print(
+                f"{payload:>8} {str(careful):>8} "
+                f"{stats.bytes_appended / 1024:>9.1f} "
+                f"{stats.move_bytes / 1024:>8.1f} "
+                f"{stats.swap_bytes / 1024:>8.1f} "
+                f"{stats.records_appended:>8}"
+            )
+    for payload in PAYLOADS:
+        with_cw = cells[(payload, True)]
+        without = cells[(payload, False)]
+        # Keys-only MOVE records do not grow with the payload; full-content
+        # records do — so careful writing wins, increasingly with payload.
+        assert with_cw.move_bytes < without.move_bytes
+        assert with_cw.bytes_appended < without.bytes_appended
+    # The saving grows with the record payload.
+    small_ratio = (
+        cells[(PAYLOADS[0], False)].move_bytes
+        / cells[(PAYLOADS[0], True)].move_bytes
+    )
+    big_ratio = (
+        cells[(PAYLOADS[-1], False)].move_bytes
+        / cells[(PAYLOADS[-1], True)].move_bytes
+    )
+    print(f"\nmove-record inflation without careful writing: "
+          f"{small_ratio:.1f}x at {PAYLOADS[0]}B -> {big_ratio:.1f}x at "
+          f"{PAYLOADS[-1]}B payloads")
+    assert big_ratio > small_ratio > 1.0
+    benchmark.pedantic(lambda: log_volume(True, 64), rounds=1, iterations=1)
+
+
+def test_e4_swaps_always_log_full_contents(benchmark):
+    """Swaps cannot use careful writing: their log share stays heavy even
+    when MOVE records are keys-only.  Compare the per-operation bytes."""
+    from repro.wal.records import ReorgMoveInRecord, ReorgMoveOutRecord, ReorgSwapRecord
+
+    from conftest import degrade_by_random_growth
+
+    db = make_db(internal_capacity=16, careful_writing=True)
+    # Random growth scatters the leaves on disk, so ordering them in pass 2
+    # genuinely requires swapping (uniform deletion would leave them in
+    # order and pass 2 would only move).
+    tree = degrade_by_random_growth(db, N_RECORDS, 0.3)
+    Reorganizer(
+        db,
+        tree,
+        ReorgConfig(target_fill=0.9, free_space_policy=FreeSpacePolicy.NONE),
+    ).run_pass1()
+    reorg = Reorganizer(db, db.tree(), ReorgConfig())
+    reorg.run_pass2()
+    moves = []
+    swaps = []
+    for record in db.log.records_from(1):
+        if isinstance(record, (ReorgMoveInRecord, ReorgMoveOutRecord)):
+            moves.append(record.log_bytes())
+        elif isinstance(record, ReorgSwapRecord):
+            swaps.append(record.log_bytes())
+    assert swaps, "the in-place-only setup must force swaps"
+    mean_move = sum(moves) / len(moves)
+    mean_swap = sum(swaps) / len(swaps)
+    print(f"\nmean MOVE record: {mean_move:.0f} B; mean SWAP record: "
+          f"{mean_swap:.0f} B ({mean_swap / mean_move:.1f}x)")
+    assert mean_swap > 3 * mean_move
+    db.tree().validate()
+    benchmark(lambda: sum(r.log_bytes() for r in db.log.records_from(1)))

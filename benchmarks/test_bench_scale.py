@@ -1,0 +1,84 @@
+"""Scale smoke: wall-clock timings of the full pipeline at growing sizes.
+
+Not a paper artifact — a regression guard that the simulator stays usable
+at the tree sizes the other experiments assume, and the one benchmark file
+where pytest-benchmark's actual timing (rather than the simulated clock)
+is the point.
+"""
+
+import random
+
+import pytest
+
+from repro.config import ReorgConfig, TreeConfig
+from repro.db import Database
+from repro.reorg.reorganizer import Reorganizer
+from repro.storage.page import Record
+
+from conftest import banner
+
+
+def build(n_records):
+    db = Database(
+        TreeConfig(
+            leaf_capacity=32,
+            internal_capacity=32,
+            leaf_extent_pages=max(1024, n_records // 8),
+            internal_extent_pages=1024,
+            buffer_pool_pages=1024,
+        )
+    )
+    tree = db.bulk_load_tree(
+        [Record(k, "x" * 8) for k in range(n_records)],
+        leaf_fill=1.0,
+        internal_fill=0.6,
+    )
+    rng = random.Random(5)
+    for key in rng.sample(range(n_records), int(n_records * 0.7)):
+        tree.delete(key)
+    return db
+
+
+@pytest.mark.parametrize("n_records", [5_000, 20_000])
+def test_scale_full_reorganization(benchmark, n_records):
+    db = build(n_records)
+
+    def full():
+        Reorganizer(db, db.tree(), ReorgConfig(target_fill=0.9)).run()
+        return db
+
+    result = benchmark.pedantic(full, rounds=1, iterations=1)
+    tree = result.tree()
+    tree.validate()
+    assert tree.record_count() == int(n_records * 0.3)
+
+
+def test_scale_point_lookups(benchmark):
+    db = build(20_000)
+    Reorganizer(db, db.tree(), ReorgConfig()).run()
+    tree = db.tree()
+    live = [r.key for r in tree.items()]
+
+    def lookups():
+        return sum(1 for k in live[:500] if tree.search(k) is not None)
+
+    assert benchmark(lookups) == 500
+
+
+def test_scale_report(benchmark):
+    banner("Scale smoke — real (not simulated) time, 20k-record pipeline")
+    import time
+
+    db = build(20_000)
+    t0 = time.perf_counter()
+    report = Reorganizer(db, db.tree(), ReorgConfig(target_fill=0.9)).run()
+    elapsed = time.perf_counter() - t0
+    print(
+        f"records=6000 live, pass1 units={report.pass1.units}, "
+        f"pass2 ops={report.pass2.operations}, "
+        f"pass3 base pages={report.pass3.base_pages_read}, "
+        f"total {elapsed:.2f}s wall"
+    )
+    db.tree().validate()
+    assert elapsed < 120  # generous guard against pathological regressions
+    benchmark(lambda: db.tree().record_count())

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Concurrent workload during reorganization: paper vs. Tandem baseline.
+
+Reproduces the paper's section 8 concurrency claim live: the same stream
+of readers and updaters runs (a) alone, (b) against the paper's three-pass
+reorganizer with its R/RX/RS locking, and (c) against the [Smi90]-style
+baseline that X-locks the whole file for every block operation.
+
+Everything runs on the deterministic discrete-event scheduler, so the
+numbers are exactly reproducible.
+
+Run:  python examples/concurrent_reorg.py
+"""
+
+from repro.config import ReorgConfig, TreeConfig
+from repro.sim.driver import ExperimentSetup, run_concurrent_experiment
+from repro.sim.workload import WorkloadConfig
+
+
+def main() -> None:
+    setup = ExperimentSetup(
+        tree_config=TreeConfig(
+            leaf_capacity=16,
+            internal_capacity=8,
+            leaf_extent_pages=1024,
+            internal_extent_pages=256,
+            buffer_pool_pages=512,
+        ),
+        reorg_config=ReorgConfig(target_fill=0.9),
+        workload=WorkloadConfig(
+            n_transactions=300,
+            key_space=3000,
+            mean_interarrival=0.25,
+            read_fraction=0.6,
+            scan_fraction=0.1,
+            insert_fraction=0.15,
+            delete_fraction=0.15,
+        ),
+        n_records=3000,
+        fill_after=0.3,
+        op_duration=0.3,
+    )
+
+    print(
+        f"{'reorganizer':<12} {'blocked':>8} {'rx-backoffs':>12} "
+        f"{'mean wait':>10} {'p95 wait':>9} {'mean lat':>9} {'reorg time':>11}"
+    )
+    for mode in ("none", "paper", "smith90"):
+        db, m = run_concurrent_experiment(setup, reorganizer=mode)
+        db.tree().validate()
+        print(
+            f"{mode:<12} {m.blocked_txns:>8} {m.rx_backoffs:>12} "
+            f"{m.mean_wait:>10.3f} {m.p95_wait:>9.3f} "
+            f"{m.mean_latency:>9.3f} {m.reorg_elapsed:>11.1f}"
+        )
+
+    print(
+        "\nThe paper's fine-granularity locking (R on one base page, RX on"
+        "\nthe unit's leaves, X on the base page only while posting keys)"
+        "\nleaves the workload almost untouched; the whole-file X lock of"
+        "\nthe [Smi90] baseline blocks most of it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Swapping on demand: run pass 2 only when range scans get too slow.
+
+Paper section 6: "We want swapping to be optional ... One scenario we
+envision is choosing to do swapping only when range query performance
+falls below some acceptable level."
+
+This script plays a DBA's policy loop: churn degrades the tree; after each
+burst a monitoring probe measures range-scan cost; compaction (pass 1)
+runs whenever the fill factor sags, but the swap pass is triggered only
+when the scan's seek ratio crosses a threshold.
+
+Run:  python examples/range_scan_tuneup.py
+"""
+
+import random
+
+from repro.config import ReorgConfig, TreeConfig
+from repro.db import Database
+from repro.reorg.reorganizer import Reorganizer
+from repro.btree.stats import collect_stats, measure_range_scan
+from repro.storage.page import Record
+
+SCAN_COST_LIMIT = 0.45  # acceptable cost per record returned
+FILL_FLOOR = 0.65
+
+
+def churn(tree, rng, rounds=4000, key_space=30_000):
+    """Randomly insert and delete, splitting and sparsifying leaves."""
+    live = {r.key for r in tree.items()}
+    for _ in range(rounds):
+        if live and rng.random() < 0.6:
+            key = rng.choice(tuple(live))
+            tree.delete(key)
+            live.discard(key)
+        else:
+            key = rng.randrange(key_space)
+            if key not in live:
+                tree.insert(Record(key, "churn"))
+                live.add(key)
+
+
+def probe(tree):
+    stats = collect_stats(tree)
+    lo = min(r.key for r in tree.items())
+    hi = max(r.key for r in tree.items())
+    scan = measure_range_scan(tree, lo, hi)
+    per_record = scan.read_cost / max(scan.records_returned, 1)
+    return stats, per_record
+
+
+def main() -> None:
+    rng = random.Random(99)
+    db = Database(
+        TreeConfig(
+            leaf_capacity=16,
+            internal_capacity=16,
+            leaf_extent_pages=4096,
+            internal_extent_pages=512,
+        )
+    )
+    tree = db.bulk_load_tree([Record(k, "init") for k in range(8000)])
+
+    print(f"{'round':>5} {'fill':>6} {'cost/rec':>9} {'action':<28}")
+    for burst in range(1, 7):
+        churn(tree, rng)
+        tree = db.tree()
+        stats, per_record = probe(tree)
+        action = "-"
+        reorg = Reorganizer(db, tree, ReorgConfig(target_fill=0.9))
+        if stats.leaf_fill < FILL_FLOOR:
+            pass1 = reorg.run_pass1()
+            action = f"pass 1 ({pass1.units} units)"
+            if per_record > SCAN_COST_LIMIT:
+                pass2 = reorg.run_pass2()
+                action += f" + pass 2 ({pass2.swaps} swaps, {pass2.moves} moves)"
+        elif per_record > SCAN_COST_LIMIT:
+            pass2 = reorg.run_pass2()
+            action = f"pass 2 only ({pass2.swaps} swaps, {pass2.moves} moves)"
+        tree = db.tree()
+        tree.validate()
+        after_stats, after_cost = probe(tree)
+        print(
+            f"{burst:>5} {stats.leaf_fill:>6.2f} {per_record:>9.2f} {action:<28}"
+            + (
+                f"-> fill {after_stats.leaf_fill:.2f}, cost {after_cost:.2f}"
+                if action != "-"
+                else ""
+            )
+        )
+
+    print("\nFinal shrink of the upper levels (pass 3 + switch) ...")
+    reorg = Reorganizer(db, db.tree(), ReorgConfig())
+    pass3, switch = reorg.run_pass3()
+    tree = db.tree()
+    tree.validate()
+    print(
+        f"  height {collect_stats(tree).height}, "
+        f"{switch.old_internal_freed} old internal pages reclaimed, "
+        f"{pass3.new_internal_pages} new ones built."
+    )
+
+
+if __name__ == "__main__":
+    main()

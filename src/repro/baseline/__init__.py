@@ -1,0 +1,9 @@
+"""Baselines: the Tandem-style reorganizer of [Smi90]."""
+
+from repro.baseline.smith90 import (
+    Smith90Protocol,
+    Smith90Reorganizer,
+    Smith90Stats,
+)
+
+__all__ = ["Smith90Protocol", "Smith90Reorganizer", "Smith90Stats"]

@@ -1,0 +1,702 @@
+"""The primary B+-tree.
+
+The tree of the paper (section 2): leaves hold the data records (primary
+index), an internal node with n keys has n children (each entry key is a
+lower bound for its child's subtree), and the **free-at-empty** policy
+[JS93] governs deletions — sparse nodes are never consolidated, but a node
+that becomes completely empty is deallocated and its parent updated.
+
+All mutating operations follow the do-equals-redo discipline: compose a log
+record, append it, and apply it through :func:`repro.wal.apply.apply_record`
+so recovery replays the identical code path.  Locking is *not* done here —
+the tree's methods are the synchronous engine; the lock choreography of
+sections 4.1.2/4.1.3 lives in :mod:`repro.btree.protocols` as generator
+protocols for the discrete-event scheduler.
+
+Side pointers (section 4.3) are optional per
+:class:`~repro.config.TreeConfig`: NONE, ONE_WAY (next only) or TWO_WAY.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.config import SidePointerKind, TreeConfig
+from repro.errors import (
+    BTreeError,
+    KeyNotFoundError,
+    TreeInvariantError,
+)
+from repro.storage.page import (
+    InternalPage,
+    LeafPage,
+    NO_PAGE,
+    Page,
+    PageId,
+    PageKind,
+    Record,
+)
+from repro.storage.store import StorageManager
+from repro.txn.transaction import Transaction
+from repro.wal.apply import apply_record
+from repro.wal.log import LogManager
+from repro.wal.records import (
+    AllocRecord,
+    BaseEntryDeleteRecord,
+    BaseEntryInsertRecord,
+    BaseEntryUpdateRecord,
+    FreeRecord,
+    InternalFormatRecord,
+    LeafDeleteRecord,
+    LeafFormatRecord,
+    LeafInsertRecord,
+    SidePointerRecord,
+    TxnRecord,
+)
+
+
+class BPlusTree:
+    """Handle over a tree rooted at the page named in the disk metadata."""
+
+    def __init__(self, store: StorageManager, log: LogManager, *, name: str = "primary"):
+        self.store = store
+        self.log = log
+        self.name = name
+        #: Optional observer called as ``listener(op, base_page_id, key,
+        #: child)`` with op in {"insert", "delete"} whenever a *base page*
+        #: (level-1) entry changes.  Pass 3 of the reorganizer registers
+        #: the section 7.2 updater logic here: a change behind the scan's
+        #: current key must also be appended to the side file.
+        self.base_change_listener = None
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, store: StorageManager, log: LogManager, *, name: str = "primary"
+    ) -> "BPlusTree":
+        """Create an empty tree: the root is a single empty leaf."""
+        tree = cls(store, log, name=name)
+        if store.disk.get_meta(tree._root_meta_key()) is not None:
+            raise BTreeError(f"tree {name!r} already exists")
+        root = store.allocate_leaf()
+        tree._log_apply(AllocRecord(page_id=root.page_id, kind="leaf"))
+        tree._log_apply(LeafFormatRecord(page_id=root.page_id, records=()))
+        store.disk.set_meta(tree._root_meta_key(), root.page_id)
+        return tree
+
+    @classmethod
+    def attach(
+        cls, store: StorageManager, log: LogManager, *, name: str = "primary"
+    ) -> "BPlusTree":
+        """Re-open an existing tree (e.g. after crash recovery)."""
+        tree = cls(store, log, name=name)
+        if store.disk.get_meta(tree._root_meta_key()) is None:
+            raise BTreeError(f"no tree named {name!r} on this disk")
+        return tree
+
+    def _root_meta_key(self) -> str:
+        return f"root:{self.name}"
+
+    @property
+    def root_id(self) -> PageId:
+        root = self.store.disk.get_meta(self._root_meta_key())
+        if root is None:
+            raise BTreeError(f"tree {self.name!r} has no root")
+        return root  # type: ignore[return-value]
+
+    def set_root(self, page_id: PageId) -> None:
+        """Durably record a new root location ("a special place on the
+        disk", section 7.4).  Used by splits of the root and by the switch."""
+        self.store.disk.set_meta(self._root_meta_key(), page_id)
+
+    @property
+    def config(self) -> TreeConfig:
+        return self.store.config
+
+    @property
+    def side_pointers(self) -> SidePointerKind:
+        return self.config.side_pointers
+
+    # -- logging helper ------------------------------------------------------------
+
+    def _log_apply(self, record: TxnRecord, txn: Transaction | None = None):
+        """Append a record (chained to ``txn`` if given) and apply it."""
+        if txn is not None:
+            record.txn_id = txn.txn_id
+            record.prev_lsn = txn.last_lsn
+        lsn = self.log.append(record)
+        if txn is not None:
+            txn.last_lsn = lsn
+        from repro.wal.apply import is_redoable
+
+        if is_redoable(record):
+            apply_record(self.store, record)
+        return record
+
+    # -- descent ----------------------------------------------------------------
+
+    def path_to_leaf(self, key: int) -> list[PageId]:
+        """Page ids from the root down to the leaf responsible for ``key``."""
+        path = [self.root_id]
+        page = self.store.get(path[-1])
+        while page.kind is PageKind.INTERNAL:
+            child = page.child_for(key)  # type: ignore[union-attr]
+            path.append(child)
+            page = self.store.get(child)
+        return path
+
+    def leaf_for(self, key: int) -> LeafPage:
+        return self.store.get_leaf(self.path_to_leaf(key)[-1])
+
+    def base_page_for(self, key: int) -> InternalPage | None:
+        """The parent-of-leaf ("base") page responsible for ``key``, or
+        None when the root itself is a leaf."""
+        path = self.path_to_leaf(key)
+        if len(path) < 2:
+            return None
+        return self.store.get_internal(path[-2])
+
+    def leftmost_leaf_id(self) -> PageId:
+        page_id = self.root_id
+        page = self.store.get(page_id)
+        while page.kind is PageKind.INTERNAL:
+            page_id = page.children()[0]  # type: ignore[union-attr]
+            page = self.store.get(page_id)
+        return page_id
+
+    def height(self) -> int:
+        """Number of levels (a lone leaf root has height 1)."""
+        levels = 1
+        page = self.store.get(self.root_id)
+        while page.kind is PageKind.INTERNAL:
+            levels += 1
+            page = self.store.get(page.children()[0])  # type: ignore[union-attr]
+        return levels
+
+    # -- queries -----------------------------------------------------------------
+
+    def search(self, key: int) -> Record | None:
+        leaf = self.leaf_for(key)
+        if leaf.contains(key):
+            return leaf.get(key)
+        return None
+
+    def range_scan(self, low: int, high: int) -> list[Record]:
+        """All records with low <= key <= high, in key order.
+
+        Walks side pointers when the tree maintains them, otherwise
+        re-descends for each successor leaf; either way the disk I/O
+        counters capture the motivating cost (section 1).
+        """
+        if high < low:
+            return []
+        out: list[Record] = []
+        leaf = self.leaf_for(low)
+        while True:
+            for record in leaf.iter_from(low):
+                if record.key > high:
+                    return out
+                out.append(record)
+            next_id = self._successor_or_no_page(leaf)
+            if next_id == NO_PAGE:
+                return out
+            leaf = self.store.get_leaf(next_id)
+
+    def _next_leaf_id(self, leaf: LeafPage) -> PageId:
+        if self.side_pointers is not SidePointerKind.NONE:
+            return leaf.next_leaf
+        return self._next_leaf_by_descent(leaf)
+
+    def _next_leaf_by_descent(self, leaf: LeafPage) -> PageId:
+        """Successor leaf via the tree: the leftmost leaf of the first
+        right-sibling subtree on the path."""
+        probe = leaf.max_key() if not leaf.is_empty else None
+        if probe is None:
+            raise BTreeError("cannot find successor of an empty leaf")
+        page_id = self.root_id
+        page = self.store.get(page_id)
+        candidate: PageId = NO_PAGE
+        while page.kind is PageKind.INTERNAL:
+            index = page.child_index_for(probe)  # type: ignore[union-attr]
+            children = page.children()  # type: ignore[union-attr]
+            if index + 1 < len(children):
+                candidate = children[index + 1]
+            page_id = children[index]
+            page = self.store.get(page_id)
+        if candidate == NO_PAGE:
+            return NO_PAGE
+        page = self.store.get(candidate)
+        while page.kind is PageKind.INTERNAL:
+            page = self.store.get(page.children()[0])  # type: ignore[union-attr]
+        return page.page_id
+
+    def items(self) -> Iterator[Record]:
+        """Every record, in key order."""
+        leaf = self.store.get_leaf(self.leftmost_leaf_id())
+        while True:
+            yield from leaf.records
+            next_id = self._successor_or_no_page(leaf)
+            if next_id == NO_PAGE:
+                return
+            leaf = self.store.get_leaf(next_id)
+
+    def leaf_ids_in_key_order(self) -> list[PageId]:
+        """All leaf page ids in key order, via a tree walk (robust to empty
+        leaves and independent of side-pointer configuration)."""
+        ids: list[PageId] = []
+        stack: list[PageId] = [self.root_id]
+        while stack:
+            page = self.store.get(stack.pop())
+            if page.kind is PageKind.LEAF:
+                ids.append(page.page_id)
+            else:
+                stack.extend(reversed(page.children()))  # type: ignore[union-attr]
+        return ids
+
+    def successor_leaf_id(self, leaf: LeafPage) -> PageId:
+        """Next leaf in key order (NO_PAGE at the end), tolerating empty
+        leaves mid-chain.  Uses side pointers when the tree maintains them,
+        a tree descent otherwise."""
+        if self.side_pointers is not SidePointerKind.NONE:
+            return leaf.next_leaf
+        if leaf.is_empty:
+            return NO_PAGE
+        return self._next_leaf_by_descent(leaf)
+
+    # Backwards-compatible internal alias.
+    _successor_or_no_page = successor_leaf_id
+
+    def record_count(self) -> int:
+        return sum(1 for _ in self.items())
+
+    # -- insertion ---------------------------------------------------------------
+
+    def insert(self, record: Record, txn: Transaction | None = None) -> None:
+        """Insert a record, splitting pages as needed."""
+        self._lower_leftmost_entry_keys(record.key)
+        path = self.path_to_leaf(record.key)
+        leaf = self.store.get_leaf(path[-1])
+        if leaf.is_full:
+            leaf = self._split_leaf(path, record.key)
+        self._log_apply(
+            LeafInsertRecord(
+                page_id=leaf.page_id, record=record, tree_name=self.name
+            ),
+            txn,
+        )
+
+    def _lower_leftmost_entry_keys(self, key: int) -> None:
+        """Maintain *entry key = minimum of child subtree* when ``key``
+        arrives below the current tree minimum.
+
+        Under-minimum keys route to the leftmost child of every internal
+        node on their path; lowering the entry keys keeps future split
+        separators distinct from existing entry keys.
+        """
+        page_id = self.root_id
+        page = self.store.get(page_id)
+        while page.kind is PageKind.INTERNAL:
+            entries = page.entries  # type: ignore[union-attr]
+            first_key, first_child = entries[0]
+            if key < first_key:
+                self._log_apply(
+                    BaseEntryUpdateRecord(
+                        page_id=page_id,
+                        org_key=first_key,
+                        org_child=first_child,
+                        new_key=key,
+                        new_child=first_child,
+                    )
+                )
+            page_id = page.child_for(key)  # type: ignore[union-attr]
+            page = self.store.get(page_id)
+
+    def _split_leaf(self, path: list[PageId], pending_key: int) -> LeafPage:
+        """Split the leaf at the end of ``path``; return the leaf that
+        should now receive ``pending_key``."""
+        leaf = self.store.get_leaf(path[-1])
+        records = list(leaf.records)
+        # Keep the majority on the lower (left) side: under ascending-key
+        # workloads the growing right side then starts with the most free
+        # space, which keeps split cascades geometric instead of linear.
+        mid = (len(records) + 1) // 2
+        lower, upper = records[:mid], records[mid:]
+        new_leaf = self.store.allocate_leaf()
+        self._log_apply(AllocRecord(page_id=new_leaf.page_id, kind="leaf"))
+        next_ptr = leaf.next_leaf
+        two_way = self.side_pointers is SidePointerKind.TWO_WAY
+        one_way = self.side_pointers is SidePointerKind.ONE_WAY
+        self._log_apply(
+            LeafFormatRecord(
+                page_id=new_leaf.page_id,
+                records=tuple(upper),
+                next_leaf=next_ptr if (one_way or two_way) else NO_PAGE,
+                prev_leaf=leaf.page_id if two_way else NO_PAGE,
+            )
+        )
+        self._log_apply(
+            LeafFormatRecord(
+                page_id=leaf.page_id,
+                records=tuple(lower),
+                next_leaf=new_leaf.page_id if (one_way or two_way) else NO_PAGE,
+                prev_leaf=leaf.prev_leaf if two_way else NO_PAGE,
+            )
+        )
+        if two_way and next_ptr != NO_PAGE:
+            neighbour = self.store.get_leaf(next_ptr)
+            self._log_apply(
+                SidePointerRecord(
+                    page_id=next_ptr,
+                    next_leaf=neighbour.next_leaf,
+                    prev_leaf=new_leaf.page_id,
+                )
+            )
+        separator = upper[0].key
+        self._insert_into_parent(path[:-1], leaf.page_id, separator, new_leaf.page_id)
+        return new_leaf if pending_key >= separator else self.store.get_leaf(leaf.page_id)
+
+    def _insert_into_parent(
+        self,
+        ancestors: list[PageId],
+        left_child: PageId,
+        separator: int,
+        right_child: PageId,
+    ) -> None:
+        if not ancestors:
+            self._grow_new_root(left_child, separator, right_child)
+            return
+        parent = self.store.get_internal(ancestors[-1])
+        if parent.is_full:
+            parent = self._split_internal(ancestors, separator)
+        self._log_apply(
+            BaseEntryInsertRecord(
+                page_id=parent.page_id, key=separator, child=right_child
+            )
+        )
+        if parent.level == 1 and self.base_change_listener is not None:
+            self.base_change_listener(
+                "insert", parent.page_id, separator, right_child
+            )
+
+    def _split_internal(self, ancestors: list[PageId], pending_key: int) -> InternalPage:
+        page = self.store.get_internal(ancestors[-1])
+        entries = list(page.entries)
+        mid = (len(entries) + 1) // 2
+        lower, upper = entries[:mid], entries[mid:]
+        new_page = self.store.allocate_internal(level=page.level)
+        self._log_apply(
+            AllocRecord(page_id=new_page.page_id, kind="internal", level=page.level)
+        )
+        self._log_apply(
+            InternalFormatRecord(
+                page_id=new_page.page_id,
+                level=page.level,
+                entries=tuple(upper),
+                low_mark=upper[0][0],
+            )
+        )
+        self._log_apply(
+            InternalFormatRecord(
+                page_id=page.page_id,
+                level=page.level,
+                entries=tuple(lower),
+                low_mark=page.low_mark,
+            )
+        )
+        separator = upper[0][0]
+        self._insert_into_parent(
+            ancestors[:-1], page.page_id, separator, new_page.page_id
+        )
+        if pending_key >= separator:
+            return self.store.get_internal(new_page.page_id)
+        return self.store.get_internal(page.page_id)
+
+    def _grow_new_root(
+        self, left_child: PageId, separator: int, right_child: PageId
+    ) -> None:
+        left = self.store.get(left_child)
+        left_key = left.min_key()  # both page kinds expose their minimum key
+        level = 1 if left.kind is PageKind.LEAF else left.level + 1  # type: ignore[union-attr]
+        new_root = self.store.allocate_internal(level=level)
+        self._log_apply(
+            AllocRecord(page_id=new_root.page_id, kind="internal", level=level)
+        )
+        self._log_apply(
+            InternalFormatRecord(
+                page_id=new_root.page_id,
+                level=level,
+                entries=((left_key, left_child), (separator, right_child)),
+                low_mark=left_key,
+            )
+        )
+        self.set_root(new_root.page_id)
+
+    # -- deletion (free-at-empty) ------------------------------------------------------
+
+    def delete(self, key: int, txn: Transaction | None = None) -> Record:
+        """Delete ``key``; deallocate the leaf if it becomes empty [JS93]."""
+        path = self.path_to_leaf(key)
+        leaf = self.store.get_leaf(path[-1])
+        if not leaf.contains(key):
+            raise KeyNotFoundError(f"key {key} not in tree {self.name!r}")
+        record = leaf.get(key)
+        self._log_apply(
+            LeafDeleteRecord(
+                page_id=leaf.page_id, record=record, tree_name=self.name
+            ),
+            txn,
+        )
+        if leaf.is_empty and len(path) > 1:
+            self._free_at_empty(path)
+        return record
+
+    def _free_at_empty(self, path: list[PageId]) -> None:
+        """Deallocate the empty leaf at path end, updating parents upward."""
+        leaf = self.store.get_leaf(path[-1])
+        self._unlink_side_pointers(leaf)
+        child = leaf.page_id
+        self._log_apply(FreeRecord(page_id=child))
+        self.store.deallocate(child)
+        for depth in range(len(path) - 2, -1, -1):
+            parent = self.store.get_internal(path[depth])
+            entry_key, _ = parent.entries[parent.index_of_child(child)]
+            self._log_apply(
+                BaseEntryDeleteRecord(
+                    page_id=parent.page_id, key=entry_key, child=child
+                )
+            )
+            if parent.level == 1 and self.base_change_listener is not None:
+                self.base_change_listener(
+                    "delete", parent.page_id, entry_key, child
+                )
+            if not parent.is_empty or depth == 0:
+                break
+            child = parent.page_id
+            self._log_apply(FreeRecord(page_id=child))
+            self.store.deallocate(child)
+        else:
+            return
+        # If the root lost all entries the tree is empty: restore the
+        # empty-leaf-root form.
+        root = self.store.get(self.root_id)
+        if root.kind is PageKind.INTERNAL and root.is_empty:
+            self._log_apply(FreeRecord(page_id=root.page_id))
+            self.store.deallocate(root.page_id)
+            new_root = self.store.allocate_leaf()
+            self._log_apply(AllocRecord(page_id=new_root.page_id, kind="leaf"))
+            self._log_apply(LeafFormatRecord(page_id=new_root.page_id, records=()))
+            self.set_root(new_root.page_id)
+
+    def _unlink_side_pointers(self, leaf: LeafPage) -> None:
+        if self.side_pointers is SidePointerKind.NONE:
+            return
+        prev_id = self._previous_leaf_id(leaf)
+        if prev_id != NO_PAGE:
+            prev = self.store.get_leaf(prev_id)
+            self._log_apply(
+                SidePointerRecord(
+                    page_id=prev_id,
+                    next_leaf=leaf.next_leaf,
+                    prev_leaf=prev.prev_leaf,
+                )
+            )
+        if (
+            self.side_pointers is SidePointerKind.TWO_WAY
+            and leaf.next_leaf != NO_PAGE
+        ):
+            nxt = self.store.get_leaf(leaf.next_leaf)
+            self._log_apply(
+                SidePointerRecord(
+                    page_id=nxt.page_id,
+                    next_leaf=nxt.next_leaf,
+                    prev_leaf=leaf.prev_leaf,
+                )
+            )
+
+    def _previous_leaf_id(self, leaf: LeafPage) -> PageId:
+        if self.side_pointers is SidePointerKind.TWO_WAY:
+            return leaf.prev_leaf
+        # One-way pointers: walk from the leftmost leaf.
+        cursor = self.leftmost_leaf_id()
+        if cursor == leaf.page_id:
+            return NO_PAGE
+        while cursor != NO_PAGE:
+            page = self.store.get_leaf(cursor)
+            if page.next_leaf == leaf.page_id:
+                return cursor
+            cursor = page.next_leaf
+        return NO_PAGE
+
+    # -- base-entry operations (pass-3 catch-up surface) -----------------------------
+
+    def path_to_base(self, key: int) -> list[PageId]:
+        """Page ids from the root down to the base page for ``key``.
+
+        Descends internal levels only — the leaf the base entry points at
+        may already be deallocated (a free-at-empty deletion travelling
+        through the side file), so it must not be fetched.
+        """
+        root = self.store.get(self.root_id)
+        if root.kind is PageKind.LEAF:
+            raise BTreeError(f"tree {self.name!r} has no base level")
+        path = [self.root_id]
+        page = root
+        while page.level > 1:  # type: ignore[union-attr]
+            child = page.child_for(key)  # type: ignore[union-attr]
+            path.append(child)
+            page = self.store.get(child)
+        return path
+
+    def insert_base_entry(self, key: int, child: PageId) -> None:
+        """Insert a (key, child) entry at the base level, splitting as
+        needed.  Used when applying side-file insertions to the new tree
+        (section 7.2): the entry points at an existing leaf page.
+        """
+        path = self.path_to_base(key)
+        base = self.store.get_internal(path[-1])
+        if base.is_full:
+            base = self._split_internal(path, key)
+        self._log_apply(
+            BaseEntryInsertRecord(page_id=base.page_id, key=key, child=child)
+        )
+
+    def delete_base_entry(self, key: int, child: PageId) -> None:
+        """Remove a (key, child) base entry (side-file deletion replay)."""
+        path = self.path_to_base(key)
+        base = self.store.get_internal(path[-1])
+        index = base.index_of_child(child)
+        if index < 0:
+            raise KeyNotFoundError(
+                f"base entry for child {child} not under key {key}"
+            )
+        entry_key = base.entries[index][0]
+        self._log_apply(
+            BaseEntryDeleteRecord(
+                page_id=base.page_id, key=entry_key, child=child
+            )
+        )
+        if base.is_empty:
+            # Free-at-empty propagates up exactly as for leaves.
+            self._free_empty_internal(path)
+
+    def _free_empty_internal(self, path: list[PageId]) -> None:
+        child = path[-1]
+        self._log_apply(FreeRecord(page_id=child))
+        self.store.deallocate(child)
+        for depth in range(len(path) - 2, -1, -1):
+            parent = self.store.get_internal(path[depth])
+            entry_key, _ = parent.entries[parent.index_of_child(child)]
+            self._log_apply(
+                BaseEntryDeleteRecord(
+                    page_id=parent.page_id, key=entry_key, child=child
+                )
+            )
+            if not parent.is_empty or depth == 0:
+                return
+            child = parent.page_id
+            self._log_apply(FreeRecord(page_id=child))
+            self.store.deallocate(child)
+
+    # -- invariants ----------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Full structural check; raises TreeInvariantError on any breach."""
+        root = self.store.get(self.root_id)
+        leaves: list[PageId] = []
+        if root.kind is PageKind.LEAF:
+            leaves = [root.page_id]
+        else:
+            self._validate_internal(root, None, None, leaves)  # type: ignore[arg-type]
+        # Record ordering across leaves.
+        previous_max: int | None = None
+        for leaf_id in leaves:
+            leaf = self.store.get_leaf(leaf_id)
+            if leaf.num_items > leaf.capacity:
+                raise TreeInvariantError(f"leaf {leaf_id} over capacity")
+            if not leaf.is_empty:
+                if previous_max is not None and leaf.min_key() <= previous_max:
+                    raise TreeInvariantError(
+                        f"leaf {leaf_id} min {leaf.min_key()} <= previous max "
+                        f"{previous_max}"
+                    )
+                previous_max = leaf.max_key()
+            if self.store.free_map.is_free(leaf_id):
+                raise TreeInvariantError(f"leaf {leaf_id} is reachable but free")
+        self._validate_side_pointers(leaves)
+
+    def _validate_internal(
+        self,
+        page: Page,
+        low: int | None,
+        high: int | None,
+        leaves: list[PageId],
+    ) -> None:
+        if page.kind is PageKind.LEAF:
+            leaf = page
+            for record in leaf.records:  # type: ignore[union-attr]
+                if low is not None and record.key < low:
+                    raise TreeInvariantError(
+                        f"leaf {page.page_id} key {record.key} below bound {low}"
+                    )
+                if high is not None and record.key >= high:
+                    raise TreeInvariantError(
+                        f"leaf {page.page_id} key {record.key} >= bound {high}"
+                    )
+            leaves.append(page.page_id)
+            return
+        internal = page
+        entries = internal.entries  # type: ignore[union-attr]
+        if not entries:
+            raise TreeInvariantError(f"internal page {page.page_id} is empty")
+        keys = [k for k, _ in entries]
+        if keys != sorted(set(keys)):
+            raise TreeInvariantError(
+                f"internal page {page.page_id} keys not strictly sorted"
+            )
+        if self.store.free_map.is_free(page.page_id):
+            raise TreeInvariantError(f"page {page.page_id} reachable but free")
+        for index, (key, child) in enumerate(entries):
+            # The leftmost child may hold keys below its entry key (routing
+            # sends under-minimum keys to it), so it inherits the parent's
+            # lower bound; every other child is bounded by its entry key.
+            child_low = key if index > 0 else low
+            child_high = entries[index + 1][0] if index + 1 < len(entries) else high
+            child_page = self.store.get(child)
+            expected_level = internal.level - 1  # type: ignore[union-attr]
+            if child_page.kind is PageKind.INTERNAL:
+                if child_page.level != expected_level:  # type: ignore[union-attr]
+                    raise TreeInvariantError(
+                        f"page {child}: level {child_page.level} != "  # type: ignore[union-attr]
+                        f"expected {expected_level}"
+                    )
+            elif expected_level != 0:
+                raise TreeInvariantError(
+                    f"leaf {child} under level-{internal.level} parent"  # type: ignore[union-attr]
+                )
+            self._validate_internal(child_page, child_low, child_high, leaves)
+
+    def _validate_side_pointers(self, leaves: list[PageId]) -> None:
+        if self.side_pointers is SidePointerKind.NONE or len(leaves) < 1:
+            return
+        for here, there in zip(leaves, leaves[1:]):
+            page = self.store.get_leaf(here)
+            if page.next_leaf != there:
+                raise TreeInvariantError(
+                    f"leaf {here}.next_leaf = {page.next_leaf}, expected {there}"
+                )
+        last = self.store.get_leaf(leaves[-1])
+        if last.next_leaf != NO_PAGE:
+            raise TreeInvariantError(
+                f"last leaf {leaves[-1]} has dangling next {last.next_leaf}"
+            )
+        if self.side_pointers is SidePointerKind.TWO_WAY:
+            for prev, here in zip(leaves, leaves[1:]):
+                page = self.store.get_leaf(here)
+                if page.prev_leaf != prev:
+                    raise TreeInvariantError(
+                        f"leaf {here}.prev_leaf = {page.prev_leaf}, expected {prev}"
+                    )
+            first = self.store.get_leaf(leaves[0])
+            if first.prev_leaf != NO_PAGE:
+                raise TreeInvariantError("first leaf has a prev pointer")

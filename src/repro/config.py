@@ -1,0 +1,135 @@
+"""Configuration objects shared across the library.
+
+Two dataclasses collect the tunables of the system:
+
+* :class:`TreeConfig` — shape of the B+-tree and its storage substrate.
+* :class:`ReorgConfig` — parameters of the three-pass reorganization
+  algorithm (target fill factor, swap pass on/off, empty-page policy,
+  stable-point interval, ...).
+
+Both are immutable so a configuration can be shared between a tree, the
+reorganizer, and a benchmark harness without aliasing surprises.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SidePointerKind(enum.Enum):
+    """Kind of leaf-level side pointers the tree maintains (paper section 4.3)."""
+
+    NONE = "none"
+    ONE_WAY = "one_way"
+    TWO_WAY = "two_way"
+
+
+class FreeSpacePolicy(enum.Enum):
+    """Policy used by pass 1 to pick an empty page for new-place compaction.
+
+    ``PAPER`` is the heuristic of paper section 6.1: the first empty page
+    located after the largest finished leaf page id L and before the leaf
+    page C being reorganized.  ``FIRST_FIT`` takes any first free page.
+    ``NONE`` disables new-place compaction entirely (in-place only), which
+    maximizes the number of swaps pass 2 must perform.
+    """
+
+    PAPER = "paper"
+    FIRST_FIT = "first_fit"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    """Static shape parameters for a B+-tree and its disk.
+
+    Attributes:
+        leaf_capacity: maximum number of records a leaf page holds.
+        internal_capacity: maximum number of (key, child) entries an internal
+            page holds; the fanout.
+        leaf_extent_pages: number of page slots in the leaf disk extent.
+            The paper assumes leaf and internal pages live in different parts
+            of the disk (section 6), so each gets its own extent.
+        internal_extent_pages: number of page slots in the internal extent.
+        side_pointers: which kind of leaf side pointers to maintain.
+        buffer_pool_pages: capacity of the buffer pool in pages.
+        careful_writing: whether the buffer manager enforces write-before
+            dependencies, allowing MOVE log records to carry keys only
+            (paper section 5, citing [LT95]).
+        seek_cost: simulated cost of a non-sequential page read, used by the
+            range-scan cost model.  A sequential read costs 1.0.
+    """
+
+    leaf_capacity: int = 32
+    internal_capacity: int = 32
+    leaf_extent_pages: int = 4096
+    internal_extent_pages: int = 1024
+    side_pointers: SidePointerKind = SidePointerKind.NONE
+    buffer_pool_pages: int = 256
+    careful_writing: bool = True
+    seek_cost: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.leaf_capacity < 2:
+            raise ValueError("leaf_capacity must be at least 2")
+        if self.internal_capacity < 3:
+            # With "n keys, n children" pages and pre-emptive splitting, a
+            # fan-out-2 internal page is born full and split cascades become
+            # linear; 3 is the smallest capacity with geometric growth.
+            raise ValueError("internal_capacity must be at least 3")
+        if self.leaf_extent_pages < 1 or self.internal_extent_pages < 1:
+            raise ValueError("extents must hold at least one page")
+        if self.buffer_pool_pages < 4:
+            raise ValueError("buffer pool must hold at least 4 pages")
+        if self.seek_cost < 1.0:
+            raise ValueError("seek_cost must be >= 1.0 (sequential cost is 1.0)")
+
+
+@dataclass(frozen=True)
+class ReorgConfig:
+    """Parameters of the three-pass reorganization.
+
+    Attributes:
+        target_fill: f2, the page fill factor the reorganizer aims for
+            (paper section 6: f2 > f1, the current fill factor).
+        do_swap_pass: whether to run pass 2 at all.  The paper makes
+            swapping optional: "the user can decide not to do swapping".
+        free_space_policy: empty-page selection policy for pass 1.
+        internal_fill: fill factor used when bulk-building the new upper
+            levels in pass 3 ([Sal88] bottom-up construction).
+        stable_point_interval: force-write the new tree to disk every this
+            many newly built pages (paper section 7.3 suggests e.g. 5).
+        switch_wait_limit: simulated-time limit the reorganizer waits for
+            the X lock on the old tree before aborting old transactions
+            (paper section 7.4).  ``None`` means wait forever.
+        abort_old_transactions_on_timeout: if True, force old-tree
+            transactions to abort when the wait limit expires; if False,
+            raise :class:`repro.errors.SwitchTimeoutError` instead.
+        max_unit_output_pages: how many new leaf pages a single
+            reorganization unit may construct.  The paper chooses one at a
+            time so locks are held briefly (section 6).
+    """
+
+    target_fill: float = 0.9
+    do_swap_pass: bool = True
+    free_space_policy: FreeSpacePolicy = FreeSpacePolicy.PAPER
+    internal_fill: float = 0.9
+    stable_point_interval: int = 5
+    switch_wait_limit: float | None = None
+    abort_old_transactions_on_timeout: bool = True
+    max_unit_output_pages: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_fill <= 1.0:
+            raise ValueError("target_fill must be in (0, 1]")
+        if not 0.0 < self.internal_fill <= 1.0:
+            raise ValueError("internal_fill must be in (0, 1]")
+        if self.stable_point_interval < 1:
+            raise ValueError("stable_point_interval must be >= 1")
+        if self.max_unit_output_pages < 1:
+            raise ValueError("max_unit_output_pages must be >= 1")
+
+
+DEFAULT_TREE_CONFIG = TreeConfig()
+DEFAULT_REORG_CONFIG = ReorgConfig()

@@ -1,0 +1,153 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause.  The subclasses
+mirror the paper's subsystems: storage, logging, locking, B+-tree structure,
+and the reorganizer itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Base class for simulated-disk and buffer-pool errors."""
+
+
+class PageNotAllocatedError(StorageError):
+    """A page id was used that is not currently allocated on the disk."""
+
+
+class PageAlreadyFreeError(StorageError):
+    """Attempt to free a page that is already free."""
+
+
+class ExtentFullError(StorageError):
+    """No free page is available in the requested disk extent."""
+
+
+class BufferPoolError(StorageError):
+    """Base class for buffer-pool protocol violations."""
+
+
+class PagePinnedError(BufferPoolError):
+    """A pinned page was targeted by an operation that requires it unpinned."""
+
+
+class CarefulWriteViolation(BufferPoolError):
+    """A write or deallocation would violate a careful-writing dependency.
+
+    Per paper section 5, with careful writing a page whose contents were
+    copied elsewhere must not reach disk (or be deallocated) before the
+    destination page is durable.
+    """
+
+
+class WALViolation(BufferPoolError):
+    """A dirty page would be written before its log records were flushed."""
+
+
+class LogError(ReproError):
+    """Base class for write-ahead-log errors."""
+
+
+class LogCorruptionError(LogError):
+    """The (simulated) stable log failed an integrity check during recovery."""
+
+
+class LockError(ReproError):
+    """Base class for lock-manager errors."""
+
+
+class LockProtocolViolation(LockError):
+    """A lock request pairing the paper declares impossible was attempted.
+
+    Table 1 of the paper leaves some cells blank, meaning the two modes are
+    never requested together by different requesters (for example one mode is
+    used only on leaf pages and the other only on base pages).  The lock
+    manager raises this error if such a pairing is nevertheless requested,
+    because it indicates a bug in the calling protocol.
+    """
+
+
+class LockNotHeldError(LockError):
+    """Release or conversion of a lock the transaction does not hold."""
+
+
+class DeadlockError(LockError):
+    """Raised inside the victim transaction when a deadlock is detected."""
+
+    def __init__(self, message: str = "deadlock detected", *, victim: object = None):
+        super().__init__(message)
+        self.victim = victim
+
+
+class RXConflictError(LockError):
+    """A reader/updater request conflicted with a held RX lock.
+
+    Per paper section 4, the lock manager does not enqueue such a request.
+    The requester must forgo the request, release its lock on the base page,
+    and request an unconditional instant-duration RS lock on the base page
+    instead.  This exception is the signalling mechanism.
+    """
+
+    def __init__(self, message: str, *, resource: object = None, holder: object = None):
+        super().__init__(message)
+        self.resource = resource
+        self.holder = holder
+
+
+class TransactionError(ReproError):
+    """Base class for transaction lifecycle errors."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was aborted (deadlock victim, crash, or explicit)."""
+
+
+class BTreeError(ReproError):
+    """Base class for B+-tree structural errors."""
+
+
+class KeyNotFoundError(BTreeError):
+    """A search or delete targeted a key that is not in the tree."""
+
+
+class DuplicateKeyError(BTreeError):
+    """An insert targeted a key that is already in the tree."""
+
+
+class TreeInvariantError(BTreeError):
+    """An internal consistency check of the B+-tree failed."""
+
+
+class ReorgError(ReproError):
+    """Base class for reorganizer errors."""
+
+
+class ReorgAbortedError(ReorgError):
+    """A reorganization unit was aborted (normally as a deadlock victim)."""
+
+
+class SwitchTimeoutError(ReorgError):
+    """The reorganizer could not obtain the X lock on the old tree in time.
+
+    Per paper section 7.4 the reorganizer may then force the remaining old
+    transactions to abort; this error is raised when that policy is disabled.
+    """
+
+
+class CrashPoint(ReproError):
+    """Injected system failure used by the crash-and-recover harness.
+
+    Raising this exception simulates an instantaneous loss of all volatile
+    state.  It deliberately does *not* derive from the errors user code is
+    expected to catch-and-continue from.
+    """
+
+    def __init__(self, label: str = "crash"):
+        super().__init__(f"injected crash: {label}")
+        self.label = label

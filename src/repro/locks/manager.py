@@ -1,0 +1,598 @@
+"""The lock manager.
+
+Implements the paper's locking machinery (section 4):
+
+* grants and FIFO wait queues over arbitrary hashable resources (the tree
+  lock, page locks, record locks, the side file and its keys);
+* **RX conflict signalling** — a request that conflicts with a *held* RX
+  lock is not enqueued; the requester is told to forgo it
+  (:class:`~repro.errors.RXConflictError`), so it can run the paper's
+  back-off protocol: release the base-page lock and wait via an
+  unconditional instant-duration RS lock;
+* **instant-duration requests** — "the lock is not to be actually granted,
+  but the lock manager has to delay returning the lock call with the
+  success status until the lock becomes grantable" ([Moh90]);
+* **conversions** (R -> X for posting base-page updates, S -> X, ...) with
+  priority over queued requests;
+* **deadlock detection** over a waits-for graph, with the paper's victim
+  policy: "Whenever the reorganizer gets in a deadlock, we always force the
+  reorganizer to give up its lock."
+
+The manager is synchronous and scheduler-agnostic: ``request`` returns a
+:class:`LockRequest` whose state is GRANTED, WAITING, or (for instant
+requests that could be satisfied immediately) INSTANT_DONE.  The
+discrete-event scheduler attaches ``on_grant`` / ``on_deadlock`` callbacks
+to waiting requests and is woken by them.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable
+
+from repro.errors import (
+    LockNotHeldError,
+    LockProtocolViolation,
+    RXConflictError,
+)
+from repro.locks.modes import LockMode, can_upgrade, compatible
+
+Resource = Hashable
+Owner = Hashable
+
+
+class RequestState(enum.Enum):
+    GRANTED = "granted"
+    WAITING = "waiting"
+    #: An instant-duration request that was satisfiable at once (or became
+    #: so later): success was reported but nothing is held.
+    INSTANT_DONE = "instant_done"
+    #: Chosen as a deadlock victim while waiting.
+    DEADLOCK = "deadlock"
+    #: Cancelled by the owner (e.g. RX back-off releases its request).
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class LockRequest:
+    """One lock (or conversion) request and its lifecycle."""
+
+    owner: Owner
+    resource: Resource
+    mode: LockMode
+    instant: bool = False
+    #: For conversions: the mode being upgraded from (None = fresh request).
+    convert_from: LockMode | None = None
+    state: RequestState = RequestState.WAITING
+    on_grant: Callable[["LockRequest"], None] | None = None
+    on_deadlock: Callable[["LockRequest"], None] | None = None
+    _seq: int = field(default_factory=itertools.count().__next__)
+
+    @property
+    def done(self) -> bool:
+        return self.state in (RequestState.GRANTED, RequestState.INSTANT_DONE)
+
+
+@dataclass
+class LockStats:
+    """Counters for the concurrency benchmarks (E2, E5)."""
+
+    requests: int = 0
+    immediate_grants: int = 0
+    waits: int = 0
+    rx_rejections: int = 0
+    deadlocks: int = 0
+    conversions: int = 0
+
+    def reset(self) -> None:
+        self.requests = 0
+        self.immediate_grants = 0
+        self.waits = 0
+        self.rx_rejections = 0
+        self.deadlocks = 0
+        self.conversions = 0
+
+
+class LockManager:
+    """Grants, queues and converts locks per Table 1."""
+
+    def __init__(self):
+        #: resource -> owner -> Counter of held modes (ref-counted).
+        self._holders: dict[Resource, dict[Owner, Counter]] = {}
+        #: resource -> FIFO list of waiting requests.
+        self._queues: dict[Resource, list[LockRequest]] = {}
+        self.stats = LockStats()
+
+    # -- queries ------------------------------------------------------------
+
+    def holders_of(self, resource: Resource) -> dict[Owner, list[LockMode]]:
+        held = self._holders.get(resource, {})
+        return {
+            owner: sorted(counts.elements(), key=lambda m: m.value)
+            for owner, counts in held.items()
+        }
+
+    def held_modes(self, owner: Owner, resource: Resource) -> list[LockMode]:
+        counts = self._holders.get(resource, {}).get(owner)
+        return sorted(counts, key=lambda m: m.value) if counts else []
+
+    def holds(self, owner: Owner, resource: Resource, mode: LockMode) -> bool:
+        counts = self._holders.get(resource, {}).get(owner)
+        return bool(counts) and counts[mode] > 0
+
+    def waiters_of(self, resource: Resource) -> list[LockRequest]:
+        return list(self._queues.get(resource, ()))
+
+    def waiting_request(self, owner: Owner) -> LockRequest | None:
+        for queue in self._queues.values():
+            for request in queue:
+                if request.owner == owner:
+                    return request
+        return None
+
+    def owned_resources(self, owner: Owner) -> list[Resource]:
+        return [
+            resource
+            for resource, held in self._holders.items()
+            if owner in held
+        ]
+
+    # -- requesting -----------------------------------------------------------
+
+    def request(
+        self,
+        owner: Owner,
+        resource: Resource,
+        mode: LockMode,
+        *,
+        instant: bool = False,
+        on_grant: Callable[[LockRequest], None] | None = None,
+        on_deadlock: Callable[[LockRequest], None] | None = None,
+    ) -> LockRequest:
+        """Request ``mode`` on ``resource``; returns the request object.
+
+        State on return is GRANTED (lock held), INSTANT_DONE (instant
+        request satisfiable now), or WAITING (enqueued).  A conflict with a
+        held RX lock raises :class:`~repro.errors.RXConflictError` instead
+        — the paper's forgo-and-back-off signal.
+        """
+        if mode is LockMode.RS and not instant:
+            raise LockProtocolViolation(
+                "RS must be requested as an instant-duration lock"
+            )
+        self.stats.requests += 1
+        request = LockRequest(
+            owner, resource, mode,
+            instant=instant, on_grant=on_grant, on_deadlock=on_deadlock,
+        )
+        held = self._holders.get(resource, {})
+        own_counts = held.get(owner)
+        if own_counts and own_counts[mode] > 0 and not instant:
+            # Re-request of an already held mode: just bump the count.
+            own_counts[mode] += 1
+            request.state = RequestState.GRANTED
+            self.stats.immediate_grants += 1
+            return request
+
+        conflict_holder = self._first_conflicting_holder(owner, resource, mode)
+        if conflict_holder is not None:
+            holder_owner, holder_mode = conflict_holder
+            if holder_mode is LockMode.RX:
+                # Paper: "a conflicting request causes the requester to
+                # forgo the conflicting request".
+                self.stats.rx_rejections += 1
+                raise RXConflictError(
+                    f"{mode.value} request on {resource!r} conflicts with "
+                    f"RX held by {holder_owner!r}",
+                    resource=resource,
+                    holder=holder_owner,
+                )
+            self._enqueue(request)
+            return request
+
+        if self._blocked_by_earlier_waiter(request):
+            self._enqueue(request)
+            return request
+
+        self._grant(request)
+        self.stats.immediate_grants += 1
+        return request
+
+    def convert(
+        self,
+        owner: Owner,
+        resource: Resource,
+        to_mode: LockMode,
+        *,
+        on_grant: Callable[[LockRequest], None] | None = None,
+        on_deadlock: Callable[[LockRequest], None] | None = None,
+    ) -> LockRequest:
+        """Convert a held lock to a stronger mode (e.g. R -> X, section 4.1.1).
+
+        Conversions are queued ahead of fresh requests.  The *strongest*
+        currently held convertible mode is upgraded.
+        """
+        held = self._holders.get(resource, {}).get(owner)
+        if not held:
+            raise LockNotHeldError(
+                f"{owner!r} holds no lock on {resource!r} to convert"
+            )
+        from_mode = self._pick_conversion_source(held, to_mode)
+        self.stats.requests += 1
+        self.stats.conversions += 1
+        request = LockRequest(
+            owner, resource, to_mode,
+            convert_from=from_mode, on_grant=on_grant, on_deadlock=on_deadlock,
+        )
+        if self._compatible_with_holders(owner, resource, to_mode):
+            self._apply_conversion(request)
+            request.state = RequestState.GRANTED
+            self.stats.immediate_grants += 1
+            return request
+        if self._conflicts_with_rx(owner, resource, to_mode):
+            self.stats.rx_rejections += 1
+            raise RXConflictError(
+                f"conversion to {to_mode.value} on {resource!r} conflicts "
+                f"with a held RX lock",
+                resource=resource,
+            )
+        # Conversions go to the front of the queue (before other
+        # conversions already there stay in order).
+        queue = self._queues.setdefault(resource, [])
+        insert_at = 0
+        while insert_at < len(queue) and queue[insert_at].convert_from is not None:
+            insert_at += 1
+        queue.insert(insert_at, request)
+        self.stats.waits += 1
+        return request
+
+    @staticmethod
+    def _pick_conversion_source(held: Counter, to_mode: LockMode) -> LockMode:
+        candidates = [m for m in held if held[m] > 0 and can_upgrade(m, to_mode)]
+        if not candidates:
+            raise LockProtocolViolation(
+                f"no held mode of {sorted(m.value for m in held if held[m] > 0)} "
+                f"converts to {to_mode.value}"
+            )
+        # Prefer the strongest source (R over S over IX over IS) so the
+        # conversion releases as little as possible.
+        order = [LockMode.R, LockMode.S, LockMode.IX, LockMode.IS]
+        for mode in order:
+            if mode in candidates:
+                return mode
+        return candidates[0]
+
+    def downgrade(
+        self, owner: Owner, resource: Resource, from_mode: LockMode,
+        to_mode: LockMode,
+    ) -> None:
+        """Replace a held lock with a weaker one, waking anyone it admits.
+
+        Section 4.1.2 describes the classical pattern: "Often an S lock is
+        first requested on the page, then the read takes place, then the S
+        lock on the page is downgraded to IS lock while an S lock on the
+        read record is held to the end of transaction."  Downgrades never
+        wait; they can only make more requests grantable.
+        """
+        from repro.locks.modes import can_upgrade
+
+        if not can_upgrade(to_mode, from_mode):
+            raise LockProtocolViolation(
+                f"{from_mode.value} does not downgrade to {to_mode.value}"
+            )
+        held = self._holders.get(resource, {})
+        counts = held.get(owner)
+        if not counts or counts[from_mode] <= 0:
+            raise LockNotHeldError(
+                f"{owner!r} does not hold {from_mode.value} on {resource!r}"
+            )
+        counts[from_mode] -= 1
+        if counts[from_mode] == 0:
+            del counts[from_mode]
+        counts[to_mode] += 1
+        self._dispatch(resource)
+
+    # -- releasing -----------------------------------------------------------
+
+    def release(self, owner: Owner, resource: Resource, mode: LockMode) -> None:
+        """Release one reference to a held lock."""
+        held = self._holders.get(resource, {})
+        counts = held.get(owner)
+        if not counts or counts[mode] <= 0:
+            raise LockNotHeldError(
+                f"{owner!r} does not hold {mode.value} on {resource!r}"
+            )
+        counts[mode] -= 1
+        if counts[mode] == 0:
+            del counts[mode]
+        if not counts:
+            del held[owner]
+        if not held:
+            self._holders.pop(resource, None)
+        self._dispatch(resource)
+
+    def release_all(self, owner: Owner) -> None:
+        """Release every lock held by ``owner`` (end of transaction)."""
+        for resource in list(self._holders):
+            held = self._holders[resource]
+            if owner in held:
+                del held[owner]
+                if not held:
+                    del self._holders[resource]
+                self._dispatch(resource)
+
+    def cancel_wait(self, owner: Owner) -> None:
+        """Withdraw any waiting request of ``owner`` (back-off / abort)."""
+        for resource, queue in list(self._queues.items()):
+            kept = []
+            for request in queue:
+                if request.owner == owner:
+                    request.state = RequestState.CANCELLED
+                else:
+                    kept.append(request)
+            if kept:
+                self._queues[resource] = kept
+            else:
+                self._queues.pop(resource, None)
+            if len(kept) != len(queue):
+                self._dispatch(resource)
+
+    # -- crash simulation -------------------------------------------------------
+
+    def crash(self) -> None:
+        """The lock table is volatile; a crash empties it."""
+        self._holders.clear()
+        self._queues.clear()
+
+    # -- deadlock detection --------------------------------------------------------
+
+    def build_waits_for(self) -> dict[Owner, set[Owner]]:
+        """Waits-for edges: waiter -> owners it is blocked by.
+
+        A waiter is blocked by (a) every holder of a conflicting mode and
+        (b) every *earlier* waiter on the same resource with a conflicting
+        mode (FIFO order means it will be granted first).
+        """
+        graph: dict[Owner, set[Owner]] = {}
+        for resource, queue in self._queues.items():
+            held = self._holders.get(resource, {})
+            for position, request in enumerate(queue):
+                blockers: set[Owner] = set()
+                for holder_owner, counts in held.items():
+                    if holder_owner == request.owner:
+                        continue
+                    if any(
+                        self._conflicts(held_mode, request.mode)
+                        for held_mode in counts
+                        if counts[held_mode] > 0
+                    ):
+                        blockers.add(holder_owner)
+                for earlier in queue[:position]:
+                    if earlier.owner == request.owner or earlier.instant:
+                        continue
+                    if self._conflicts(earlier.mode, request.mode):
+                        blockers.add(earlier.owner)
+                if blockers:
+                    graph.setdefault(request.owner, set()).update(blockers)
+        return graph
+
+    def find_deadlock_cycle(self) -> list[Owner] | None:
+        """Find one cycle in the waits-for graph, or None."""
+        graph = self.build_waits_for()
+        visiting: list[Owner] = []
+        visited: set[Owner] = set()
+
+        def dfs(node: Owner) -> list[Owner] | None:
+            if node in visiting:
+                return visiting[visiting.index(node):]
+            if node in visited:
+                return None
+            visiting.append(node)
+            for neighbour in graph.get(node, ()):
+                cycle = dfs(neighbour)
+                if cycle is not None:
+                    return cycle
+            visiting.pop()
+            visited.add(node)
+            return None
+
+        for start in list(graph):
+            cycle = dfs(start)
+            if cycle is not None:
+                return cycle
+        return None
+
+    def resolve_deadlocks(self) -> list[Owner]:
+        """Detect and break all deadlock cycles; returns the victims.
+
+        Victim choice per the paper: a reorganizer in the cycle always
+        yields; otherwise the owner with the largest ``_seq``-style identity
+        (we use the waiting request's sequence number, i.e. the youngest
+        request) is chosen.
+        """
+        victims: list[Owner] = []
+        while True:
+            cycle = self.find_deadlock_cycle()
+            if cycle is None:
+                return victims
+            victim = self._choose_victim(cycle)
+            victims.append(victim)
+            self.stats.deadlocks += 1
+            self._deliver_deadlock(victim)
+
+    def _choose_victim(self, cycle: list[Owner]) -> Owner:
+        for owner in cycle:
+            if getattr(owner, "is_reorganizer", False):
+                return owner
+        # Youngest waiting request loses.
+        def seq_of(owner: Owner) -> int:
+            request = self.waiting_request(owner)
+            return request._seq if request is not None else -1
+
+        return max(cycle, key=seq_of)
+
+    def _deliver_deadlock(self, victim: Owner) -> None:
+        for resource, queue in list(self._queues.items()):
+            kept = []
+            for request in queue:
+                if request.owner == victim:
+                    request.state = RequestState.DEADLOCK
+                    if request.on_deadlock is not None:
+                        request.on_deadlock(request)
+                else:
+                    kept.append(request)
+            if kept:
+                self._queues[resource] = kept
+            else:
+                self._queues.pop(resource, None)
+            if len(kept) != len(queue):
+                self._dispatch(resource)
+
+    # -- internals ------------------------------------------------------------
+
+    @staticmethod
+    def _conflicts(granted: LockMode, requested: LockMode) -> bool:
+        """Permissive conflict test for scheduling decisions.
+
+        Blank Table-1 cells cannot conflict (the pairing never occurs
+        between different requesters at the same resource *kind*; if it
+        shows up across kinds in the waits-for graph we treat it as
+        non-blocking rather than raising mid-analysis).
+        """
+        if granted is LockMode.RS or requested is LockMode.RS:
+            # RS is never held and an RS waiter only waits for R/X.
+            if requested is LockMode.RS:
+                return granted in (LockMode.R, LockMode.X)
+            return False
+        from repro.locks.modes import compatibility_cell
+
+        cell = compatibility_cell(granted, requested)
+        return cell is False
+
+    def _first_conflicting_holder(
+        self, owner: Owner, resource: Resource, mode: LockMode
+    ) -> tuple[Owner, LockMode] | None:
+        held = self._holders.get(resource, {})
+        for holder_owner, counts in held.items():
+            if holder_owner == owner:
+                continue
+            for held_mode in counts:
+                if counts[held_mode] <= 0:
+                    continue
+                if mode is LockMode.RS:
+                    # RS only ever waits for the reorganizer's R (and its
+                    # short X window); Table-1 blanks still apply.
+                    from repro.locks.modes import compatibility_cell
+
+                    if compatibility_cell(held_mode, LockMode.RS) is None:
+                        raise LockProtocolViolation(
+                            f"RS requested while {held_mode.value} is held "
+                            f"(Table 1 blank cell)"
+                        )
+                    if held_mode in (LockMode.R, LockMode.X):
+                        return holder_owner, held_mode
+                    continue
+                if not compatible(held_mode, mode):
+                    return holder_owner, held_mode
+        return None
+
+    def _compatible_with_holders(
+        self, owner: Owner, resource: Resource, mode: LockMode
+    ) -> bool:
+        return self._first_conflicting_holder(owner, resource, mode) is None
+
+    def _conflicts_with_rx(
+        self, owner: Owner, resource: Resource, mode: LockMode
+    ) -> bool:
+        conflict = self._first_conflicting_holder(owner, resource, mode)
+        return conflict is not None and conflict[1] is LockMode.RX
+
+    def _blocked_by_earlier_waiter(self, request: LockRequest) -> bool:
+        for earlier in self._queues.get(request.resource, ()):
+            if earlier.owner == request.owner or earlier.instant:
+                continue
+            if self._conflicts(earlier.mode, request.mode):
+                return True
+        return False
+
+    def _enqueue(self, request: LockRequest) -> None:
+        request.state = RequestState.WAITING
+        self._queues.setdefault(request.resource, []).append(request)
+        self.stats.waits += 1
+
+    def _grant(self, request: LockRequest, *, notify: bool = False) -> None:
+        if request.instant:
+            request.state = RequestState.INSTANT_DONE
+        else:
+            held = self._holders.setdefault(request.resource, {})
+            counts = held.setdefault(request.owner, Counter())
+            counts[request.mode] += 1
+            request.state = RequestState.GRANTED
+        # ``notify`` is True only for deferred grants from the dispatch
+        # path; an immediate grant is reported synchronously by request()
+        # and must not also fire the callback (double-resume hazard).
+        if notify and request.on_grant is not None:
+            request.on_grant(request)
+
+    def _apply_conversion(self, request: LockRequest) -> None:
+        held = self._holders.setdefault(request.resource, {})
+        counts = held.setdefault(request.owner, Counter())
+        source = request.convert_from
+        if source is not None and source is not request.mode:
+            if counts[source] <= 0:
+                raise LockNotHeldError(
+                    f"conversion source {source.value} no longer held"
+                )
+            counts[source] -= 1
+            if counts[source] == 0:
+                del counts[source]
+        counts[request.mode] += 1
+
+    def _dispatch(self, resource: Resource) -> None:
+        """Grant queued requests that are now compatible, FIFO with
+        conversion priority and instant-request pass-through."""
+        queue = self._queues.get(resource)
+        if not queue:
+            return
+        progressed = True
+        while progressed:
+            progressed = False
+            granted_this_scan: list[LockRequest] = []
+            blocked_modes: list[LockMode] = []
+            remaining: list[LockRequest] = []
+            for request in queue:
+                if self._request_grantable(request, blocked_modes):
+                    if request.convert_from is not None:
+                        self._apply_conversion(request)
+                        request.state = RequestState.GRANTED
+                        if request.on_grant is not None:
+                            request.on_grant(request)
+                    else:
+                        self._grant(request, notify=True)
+                    granted_this_scan.append(request)
+                    progressed = True
+                else:
+                    if not request.instant:
+                        blocked_modes.append(request.mode)
+                    remaining.append(request)
+            queue[:] = remaining
+            if not queue:
+                self._queues.pop(resource, None)
+                return
+
+    def _request_grantable(
+        self, request: LockRequest, blocked_modes: Iterable[LockMode]
+    ) -> bool:
+        if not self._compatible_with_holders(
+            request.owner, request.resource, request.mode
+        ):
+            return False
+        if request.convert_from is not None:
+            return True  # conversions only wait on holders
+        for earlier_mode in blocked_modes:
+            if self._conflicts(earlier_mode, request.mode):
+                return False
+        return True

@@ -1,0 +1,171 @@
+"""Lock modes and the paper's Table 1 compatibility matrix.
+
+The paper (section 4) uses the classical modes IS, IX, S, X plus three new
+modes for the reorganizer:
+
+* **R** — held by the reorganizer on *base pages* whose children are in a
+  reorganization unit, while it reads them.  Compatible with S in both
+  directions, so readers and the reorganizer can share base pages.
+* **RX** — held by the reorganizer on the *leaf pages* of a unit while it
+  moves records.  "The RX mode is not compatible with any lock mode.  RX is
+  not the same as X, because the action of the lock manager when a
+  conflicting request arrives is different": the conflicting requester does
+  not wait; it forgoes the request, releases its base-page lock, and asks
+  for an instant-duration RS lock on the base page instead.
+* **RS** — an *unconditional instant-duration* mode requested by blocked
+  readers/updaters on the base page.  "Not compatible with R"; it is never
+  actually granted — the lock call returns success once it becomes
+  grantable, which is exactly when the reorganizer has finished with the
+  base page.
+
+Table 1 reconstruction
+----------------------
+
+The paper leaves some cells blank: "the two lock modes won't be requested
+together by different requesters.  (This happens when, for example, one lock
+mode is only used on leaf pages and another only on base pages.)"  The
+supplied text's rendering of the table is corrupted, so the matrix below is
+reconstructed from the prose constraints, which pin every cell:
+
+* mode usage sites — IS/IX: tree lock and leaf pages; S: tree descent (base
+  pages) and leaf pages; X: base pages and leaf pages (and the tree/side
+  file at switch time); R: base pages only; RX: leaf pages only; RS: base
+  pages only.  Cells whose modes share no site are blank.  R-R, RX-RX,
+  R-RX and RX-R are blank as well because there is a single reorganization
+  process (section 5: "we are doing reorganization using one process").
+* explicit prose cells — S/R and R/S are Yes; RX row and column are No
+  everywhere they are defined; RS conflicts with R (and with X, since the
+  reorganizer holds X on the base page during the short key-update step);
+  an updater's X request on a base page held R "will wait for a
+  reorganizer", so R/X is No.
+
+Requesting a blank pairing raises
+:class:`~repro.errors.LockProtocolViolation`, surfacing protocol bugs
+instead of silently choosing an answer the paper never defined.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import LockProtocolViolation
+
+
+class LockMode(enum.Enum):
+    """The seven lock modes of paper Table 1."""
+
+    IS = "IS"
+    IX = "IX"
+    S = "S"
+    X = "X"
+    R = "R"
+    RX = "RX"
+    RS = "RS"
+
+    def __repr__(self) -> str:
+        return self.value
+
+
+_Y, _N, _B = True, False, None  # Yes / No / blank ("never requested together")
+
+#: Table 1: ``_COMPAT[granted][requested]``.  ``None`` cells are blank.
+_COMPAT: dict[LockMode, dict[LockMode, bool | None]] = {
+    LockMode.IS: {
+        LockMode.IS: _Y, LockMode.IX: _Y, LockMode.S: _Y, LockMode.X: _N,
+        LockMode.R: _B, LockMode.RX: _N, LockMode.RS: _B,
+    },
+    LockMode.IX: {
+        LockMode.IS: _Y, LockMode.IX: _Y, LockMode.S: _N, LockMode.X: _N,
+        LockMode.R: _B, LockMode.RX: _N, LockMode.RS: _B,
+    },
+    LockMode.S: {
+        LockMode.IS: _Y, LockMode.IX: _N, LockMode.S: _Y, LockMode.X: _N,
+        LockMode.R: _Y, LockMode.RX: _N, LockMode.RS: _Y,
+    },
+    LockMode.X: {
+        LockMode.IS: _N, LockMode.IX: _N, LockMode.S: _N, LockMode.X: _N,
+        LockMode.R: _N, LockMode.RX: _N, LockMode.RS: _N,
+    },
+    LockMode.R: {
+        LockMode.IS: _B, LockMode.IX: _B, LockMode.S: _Y, LockMode.X: _N,
+        LockMode.R: _B, LockMode.RX: _B, LockMode.RS: _N,
+    },
+    LockMode.RX: {
+        LockMode.IS: _N, LockMode.IX: _N, LockMode.S: _N, LockMode.X: _N,
+        LockMode.R: _B, LockMode.RX: _B, LockMode.RS: _B,
+    },
+    # RS is never *held* ("as an instant duration lock, it is never actually
+    # granted"), so it has no granted-row.
+}
+
+#: Upgrade lattice used by lock conversion: which conversions are legal.
+#: The reorganizer converts R -> X to post base-page changes (section 4.1.1);
+#: readers may upgrade S -> X is not used, but updaters upgrade IX -> X and
+#: IS -> S in classical protocols, and S -> X occurs in Bayer-Scholnick
+#: descent restarts.  We admit the classical lattice plus R -> X.
+_UPGRADES: set[tuple[LockMode, LockMode]] = {
+    (LockMode.IS, LockMode.IX),
+    (LockMode.IS, LockMode.S),
+    (LockMode.IS, LockMode.X),
+    (LockMode.IX, LockMode.X),
+    (LockMode.S, LockMode.X),
+    (LockMode.R, LockMode.X),
+}
+
+
+def compatible(granted: LockMode, requested: LockMode) -> bool:
+    """Table 1 lookup.  Blank cells raise, per the module docstring."""
+    if granted is LockMode.RS:
+        raise LockProtocolViolation(
+            "RS is an instant-duration mode and is never held"
+        )
+    cell = _COMPAT[granted][requested]
+    if cell is None:
+        raise LockProtocolViolation(
+            f"modes {granted.value} (granted) and {requested.value} "
+            f"(requested) are never requested together (Table 1 blank cell)"
+        )
+    return cell
+
+
+def compatibility_cell(granted: LockMode, requested: LockMode) -> bool | None:
+    """Raw Table 1 cell: True (Yes), False (No) or None (blank).
+
+    Used by the Table 1 reproduction benchmark to print the matrix exactly
+    as the paper shows it.
+    """
+    if granted is LockMode.RS:
+        return None
+    return _COMPAT[granted][requested]
+
+
+def can_upgrade(held: LockMode, target: LockMode) -> bool:
+    """Whether ``held`` may be converted in place to ``target``."""
+    return held is target or (held, target) in _UPGRADES
+
+
+#: Row/column orders used when printing the matrix like the paper does.
+GRANTED_ORDER = [
+    LockMode.IS, LockMode.IX, LockMode.S, LockMode.X, LockMode.R, LockMode.RX,
+]
+REQUESTED_ORDER = [
+    LockMode.IS, LockMode.IX, LockMode.S, LockMode.X, LockMode.R,
+    LockMode.RX, LockMode.RS,
+]
+
+
+def format_table() -> str:
+    """Render Table 1 as the paper prints it (Yes / No / blank)."""
+    width = 5
+    header = "Granted".ljust(9) + "".join(
+        m.value.center(width) for m in REQUESTED_ORDER
+    )
+    lines = [header]
+    for granted in GRANTED_ORDER:
+        cells = []
+        for requested in REQUESTED_ORDER:
+            cell = compatibility_cell(granted, requested)
+            text = "" if cell is None else ("Yes" if cell else "No")
+            cells.append(text.center(width))
+        lines.append(granted.value.ljust(9) + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Canonical lock resource names.
+
+Every lockable thing in the system is identified by a small tuple so that
+the lock manager can stay generic.  Using constructor functions (rather than
+ad-hoc tuples at call sites) keeps the namespaces straight:
+
+* ``tree_lock(name)`` — the large-granularity tree lock of section 4.  The
+  old and the new B+-tree have *distinct* lock names (section 7.4), which is
+  what lets the switch protocol drain old-tree transactions by X-locking the
+  old name while new work proceeds under the new name.
+* ``page_lock(pid)`` — one lock per page (base pages and leaf pages).
+* ``record_lock(key)`` — record-level locks for readers/updaters doing
+  record-level locking [GR93].
+* ``sidefile_lock()`` — the side file as a table (IX by updaters, X by the
+  reorganizer during the switch, section 7.2/7.4).
+* ``sidefile_key(key)`` — record-level lock on one side-file entry.
+"""
+
+from __future__ import annotations
+
+from repro.storage.page import PageId
+
+TREE = "tree"
+PAGE = "page"
+RECORD = "record"
+SIDE_FILE = "sidefile"
+SIDE_FILE_KEY = "sidefile-key"
+
+
+def tree_lock(name: str) -> tuple[str, str]:
+    return (TREE, name)
+
+
+def page_lock(page_id: PageId) -> tuple[str, PageId]:
+    return (PAGE, page_id)
+
+
+def record_lock(key: int) -> tuple[str, int]:
+    return (RECORD, key)
+
+
+def sidefile_lock() -> tuple[str]:
+    return (SIDE_FILE,)
+
+
+def sidefile_key(key: int) -> tuple[str, int]:
+    return (SIDE_FILE_KEY, key)

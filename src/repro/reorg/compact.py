@@ -1,0 +1,236 @@
+"""Pass 1: compacting the leaves (paper section 6, Figure 2).
+
+The driver walks the base pages in key order.  Within each base page it
+greedily groups consecutive children whose records fit into one page at the
+target fill factor f2 — "on average d = ceil(f2/f1) pages get compacted in
+each reorganization unit" — and for each group runs Figure 2's decision::
+
+    Find-free-space;
+    If there is appropriate free space
+        Copying-Switching;        # new-place, into the chosen empty page
+    Else
+        In-Place-Reorg;           # into one of the group's own pages
+
+The empty-page choice implements section 6.1 (see
+:mod:`repro.reorg.freespace`); L, "the largest finished leaf page ID", is
+maintained across units so that compacted leaves come out in ascending disk
+order, minimizing pass-2 swaps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.btree.tree import BPlusTree
+from repro.config import ReorgConfig
+from repro.db import Database
+from repro.errors import ReorgError
+from repro.reorg.freespace import find_free_page
+from repro.reorg.unit import UnitEngine, UnitResult
+from repro.storage.page import PageId, PageKind
+from repro.storage.store import LEAF_EXTENT
+
+
+@dataclass
+class Pass1Stats:
+    """Outcome of the compaction pass."""
+
+    units: int = 0
+    in_place_units: int = 0
+    new_place_units: int = 0
+    leaves_before: int = 0
+    leaves_after: int = 0
+    records_moved: int = 0
+    groups_skipped: int = 0
+    results: list[UnitResult] = field(default_factory=list)
+
+
+class LeafCompactor:
+    """Runs pass 1 synchronously against one tree."""
+
+    def __init__(
+        self,
+        db: Database,
+        tree: BPlusTree,
+        config: ReorgConfig,
+        engine: UnitEngine | None = None,
+    ):
+        self.db = db
+        self.tree = tree
+        self.config = config
+        self.engine = engine or UnitEngine(db, tree)
+        extent = db.store.disk.extent(LEAF_EXTENT)
+        #: L — largest finished leaf page id; starts before the extent.
+        self.largest_finished: PageId = extent.start - 1
+
+    def run(self) -> Pass1Stats:
+        stats = Pass1Stats()
+        stats.leaves_before = len(self.tree.leaf_ids_in_key_order())
+        for base_id in self._base_page_ids_in_key_order():
+            self._compact_base_page(base_id, stats)
+        stats.leaves_after = len(self.tree.leaf_ids_in_key_order())
+        return stats
+
+    # -- iteration ----------------------------------------------------------------
+
+    def _base_page_ids_in_key_order(self) -> list[PageId]:
+        """Snapshot of base-page ids (parents of leaves), in key order.
+
+        Pass 1 only removes/renames *entries* of base pages, never base
+        pages themselves (every base keeps at least its group's destination
+        child), so the snapshot stays valid for the whole pass.
+        """
+        ids: list[PageId] = []
+        stack = [self.tree.root_id]
+        while stack:
+            page = self.db.store.get(stack.pop())
+            if page.kind is PageKind.INTERNAL:
+                if page.level == 1:  # type: ignore[union-attr]
+                    ids.append(page.page_id)
+                else:
+                    stack.extend(reversed(page.children()))  # type: ignore[union-attr]
+        return ids
+
+    # -- per-base-page work -----------------------------------------------------------
+
+    def _compact_base_page(self, base_id: PageId, stats: Pass1Stats) -> None:
+        target = self._target_records_per_page()
+        groups = self._plan_groups(base_id, target)
+        for group in groups:
+            if len(group) < 2:
+                # Nothing to compact; the leaf still counts as finished so
+                # later placements stay in relative disk order.
+                if group:
+                    self.largest_finished = max(self.largest_finished, group[0])
+                stats.groups_skipped += 1
+                continue
+            result = self._compact_group(base_id, group)
+            stats.units += 1
+            stats.records_moved += result.records_moved
+            if result.dest_page in group:
+                stats.in_place_units += 1
+            else:
+                stats.new_place_units += 1
+            stats.results.append(result)
+            self.largest_finished = max(self.largest_finished, result.dest_page)
+
+    def _target_records_per_page(self) -> int:
+        capacity = self.db.store.config.leaf_capacity
+        return max(1, math.floor(capacity * self.config.target_fill + 1e-9))
+
+    def _plan_groups(self, base_id: PageId, target: int) -> list[list[PageId]]:
+        """Greedy grouping of a base page's children by record count.
+
+        With ``max_unit_output_pages`` = N > 1, groups may accumulate up to
+        N output pages' worth of records — one unit then constructs several
+        new leaves while holding its locks longer (section 6's trade-off).
+        """
+        limit = target * self.config.max_unit_output_pages
+        base = self.db.store.get_internal(base_id)
+        groups: list[list[PageId]] = []
+        current: list[PageId] = []
+        count = 0
+        for _key, child in base.entries:
+            n = self.db.store.get_leaf(child).num_items
+            if current and count + n > limit:
+                groups.append(current)
+                current, count = [], 0
+            current.append(child)
+            count += n
+        if current:
+            groups.append(current)
+        return groups
+
+    def _compact_group(self, base_id: PageId, group: list[PageId]) -> UnitResult:
+        """Figure 2's decision for one group of same-parent leaves."""
+        target = self._target_records_per_page()
+        total = sum(self.db.store.get_leaf(p).num_items for p in group)
+        needed = max(1, -(-total // target))
+        if needed > 1:
+            dests = self._pick_free_run(needed, current=min(group))
+            if dests is not None:
+                result = self.engine.compact_unit_multi(
+                    base_id, group, dests, target_per_page=target
+                )
+                self.largest_finished = max(self.largest_finished, max(dests))
+                return result
+            # Not enough well-placed free pages for a multi-output unit:
+            # split the group and fall through page by page.
+            return self._compact_group_split(base_id, group, target)
+        current = min(group)
+        empty = find_free_page(
+            self.db.store,
+            self.config.free_space_policy,
+            largest_finished=self.largest_finished,
+            current=current,
+        )
+        if empty is not None:
+            # Copying-Switching: build the new leaf in the chosen page.
+            return self.engine.compact_unit(
+                base_id, group, empty, dest_is_new=True
+            )
+        # In-Place-Reorg: compact into one of the group's own pages —
+        # prefer the smallest page id beyond L (keeps ascending order when
+        # possible), else the smallest page id of the group.
+        beyond = [pid for pid in group if pid > self.largest_finished]
+        dest = min(beyond) if beyond else min(group)
+        return self.engine.compact_unit(base_id, group, dest, dest_is_new=False)
+
+    def _pick_free_run(self, needed: int, current: PageId) -> list[PageId] | None:
+        """``needed`` ascending free pages, each between the previous pick
+        (initially L) and C — the section 6.1 heuristic applied per page."""
+        picks: list[PageId] = []
+        floor = self.largest_finished
+        for _ in range(needed):
+            page = find_free_page(
+                self.db.store,
+                self.config.free_space_policy,
+                largest_finished=floor,
+                current=current,
+            )
+            if page is None:
+                return None
+            picks.append(page)
+            floor = page
+        return picks
+
+    def _compact_group_split(
+        self, base_id: PageId, group: list[PageId], target: int
+    ) -> UnitResult:
+        """Fall back to one-output-page units over the oversized group."""
+        sub: list[PageId] = []
+        count = 0
+        last_result: UnitResult | None = None
+        for child in group:
+            n = self.db.store.get_leaf(child).num_items
+            if sub and count + n > target:
+                last_result = self._single_output_unit(base_id, sub)
+                sub, count = [], 0
+            sub.append(child)
+            count += n
+        if sub:
+            if len(sub) >= 2:
+                last_result = self._single_output_unit(base_id, sub)
+            elif last_result is None:
+                # A degenerate one-leaf remainder with no earlier unit.
+                self.largest_finished = max(self.largest_finished, sub[0])
+                raise ReorgError("group degenerated to a single leaf")
+        assert last_result is not None
+        return last_result
+
+    def _single_output_unit(self, base_id: PageId, sub: list[PageId]) -> UnitResult:
+        empty = find_free_page(
+            self.db.store,
+            self.config.free_space_policy,
+            largest_finished=self.largest_finished,
+            current=min(sub),
+        )
+        if empty is not None:
+            result = self.engine.compact_unit(base_id, sub, empty, dest_is_new=True)
+        else:
+            beyond = [pid for pid in sub if pid > self.largest_finished]
+            dest = min(beyond) if beyond else min(sub)
+            result = self.engine.compact_unit(base_id, sub, dest, dest_is_new=False)
+        self.largest_finished = max(self.largest_finished, result.dest_page)
+        return result

@@ -1,0 +1,52 @@
+"""Find-Free-Space: choosing the empty page for new-place compaction.
+
+Paper section 6.1: "Our goal is to minimize the amount of swapping (as
+opposed to moving to an empty page) done in the second pass. ... In our
+algorithm, we choose the first empty page which is in front of the leaf
+page that is going to be reorganized, C, and after the largest finished
+leaf page ID, L.  This forces C always to move to the 'left' or towards the
+beginning of the data collection.  Since the total number of leaf pages
+after reorganization is going to be smaller, this is the correct direction.
+Requiring that the empty space be after the largest reorganized page L
+means that the new page constructed will be in the correct relative order
+with all the leaf pages that have already been compacted."
+
+Benchmark E1 compares this policy against FIRST_FIT (any free page) and
+NONE (in-place only) and measures the pass-2 swaps each needs.
+"""
+
+from __future__ import annotations
+
+from repro.config import FreeSpacePolicy
+from repro.storage.page import PageId
+from repro.storage.store import LEAF_EXTENT, StorageManager
+
+
+def find_free_page(
+    store: StorageManager,
+    policy: FreeSpacePolicy,
+    *,
+    largest_finished: PageId,
+    current: PageId,
+) -> PageId | None:
+    """Pick an empty leaf-extent page for a new-place operation, or None.
+
+    Args:
+        store: storage manager owning the free map.
+        policy: which selection rule to apply.
+        largest_finished: L — the largest page id holding an already
+            reorganized leaf (pass the extent start - 1 when none yet).
+        current: C — the page id of the leaf about to be reorganized.
+
+    Returns None when the policy finds no suitable page, in which case the
+    caller falls back to In-Place-Reorg (Figure 2).
+    """
+    if policy is FreeSpacePolicy.NONE:
+        return None
+    if policy is FreeSpacePolicy.FIRST_FIT:
+        return store.free_map.first_free(LEAF_EXTENT)
+    if policy is FreeSpacePolicy.PAPER:
+        return store.free_map.first_free_in_range(
+            LEAF_EXTENT, largest_finished, current
+        )
+    raise ValueError(f"unknown policy {policy!r}")

@@ -1,0 +1,705 @@
+"""The reorganizer's protocols for the discrete-event scheduler.
+
+Generator versions of the three passes with the paper's locking made
+explicit (section 4.1.1)::
+
+    IX lock the tree lock.
+    S lock-couple down the tree until it reaches the base pages.
+    R lock the base page(s) and then RX lock the leaf pages that are going
+    to be reorganized.
+    Move records between leaf pages.
+    Upgrade its lock on base pages to X mode.
+    Modify necessary keys and pointers in the base pages.
+    Release locks.
+
+Deadlock handling follows the paper's policy: "Whenever the reorganizer
+gets in a deadlock, we always force the reorganizer to give up its lock" —
+a :class:`~repro.errors.DeadlockError` thrown in at any lock yield makes
+the protocol drop every lock and retry the unit after a pause.  Because all
+R and RX locks are taken *before* any record moves, giving up normally
+costs no work; a deadlock at the R->X conversion after moving records
+triggers the section 5.2 undo (:meth:`UnitEngine.undo_unit`).
+
+Pass 3's protocol holds an S lock on exactly one base page at a time while
+scanning (section 7.5), and the switch performs the section 7.4 lock dance:
+X on the side file, root flip, then X on the *old* tree lock name to drain
+old transactions — with the configurable wait limit and forced aborts via
+an ``abort_hook`` the simulation driver arms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator
+
+from repro.btree.tree import BPlusTree
+from repro.config import ReorgConfig
+from repro.db import Database
+from repro.errors import DeadlockError, ReorgError, SwitchTimeoutError
+from repro.locks.modes import LockMode
+from repro.locks.resources import page_lock, sidefile_lock, tree_lock
+from repro.reorg.compact import LeafCompactor
+from repro.reorg.freespace import find_free_page
+from repro.reorg.shrink import SCAN_DONE_KEY, TreeShrinker
+from repro.reorg.switch import Switcher, _bump_lock_name, current_lock_name
+from repro.reorg.unit import UnitEngine
+from repro.storage.page import PageId, PageKind
+from repro.storage.store import LEAF_EXTENT
+from repro.txn.ops import Acquire, Call, Convert, Release, ReleaseAll, Think
+from repro.txn.transaction import Transaction
+
+IX, S, X, R, RX = LockMode.IX, LockMode.S, LockMode.X, LockMode.R, LockMode.RX
+
+#: Pause before retrying a unit whose locks were given up at a deadlock.
+_RETRY_PAUSE = 0.5
+_MAX_UNIT_RETRIES = 50
+
+
+class ReorgProtocol:
+    """Builds the reorganizer's generator protocols for one tree."""
+
+    def __init__(
+        self,
+        db: Database,
+        tree_name: str,
+        config: ReorgConfig | None = None,
+        *,
+        unit_pause: float = 0.0,
+        scan_pause: float = 0.0,
+        op_duration: float = 0.0,
+        abort_hook: Callable[[list[Transaction]], None] | None = None,
+    ):
+        self.db = db
+        self.tree_name = tree_name
+        self.config = config or ReorgConfig()
+        self.tree = db.tree(tree_name)
+        self.engine = UnitEngine(db, self.tree)
+        #: Simulated time consumed between units / between scanned base
+        #: pages — models the background pacing of the reorganizer.
+        self.unit_pause = unit_pause
+        self.scan_pause = scan_pause
+        #: Simulated time the record movement of one unit takes while the
+        #: RX locks are held — the window during which readers/updaters
+        #: back off to RS waits.
+        self.op_duration = op_duration
+        #: Called with the transactions still holding the old tree lock
+        #: when the switch's wait limit expires; the driver wires this to
+        #: Scheduler.abort_transaction.
+        self.abort_hook = abort_hook
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _lock_name(self) -> str:
+        return current_lock_name(self.db, self.tree_name)
+
+    def _s_couple_to_base(self, key: int):
+        """S lock-couple from the root to the base page for ``key``;
+        returns the base page id, S held on it (None for a leaf root)."""
+        root_id = self.tree.root_id
+        page = self.db.store.get(root_id)
+        if page.kind is PageKind.LEAF:
+            return None
+        yield Acquire(page_lock(root_id), S)
+        held = root_id
+        while page.level > 1:  # type: ignore[union-attr]
+            child = page.child_for(key)  # type: ignore[union-attr]
+            yield Acquire(page_lock(child), S)
+            yield Release(page_lock(held), S)
+            held = child
+            page = self.db.store.get(child)
+        return held
+
+    # -- pass 1 ------------------------------------------------------------------
+
+    def pass1(self) -> Generator[Any, Any, dict]:
+        """Compaction under the section 4.1.1 unit protocol."""
+        yield Acquire(tree_lock(self._lock_name()), IX)
+        compactor = LeafCompactor(self.db, self.tree, self.config, self.engine)
+        stats = {"units": 0, "retries": 0, "undone": 0, "stale_groups": 0}
+        for base_id in compactor._base_page_ids_in_key_order():
+            target = compactor._target_records_per_page()
+            groups = yield Call(
+                lambda b=base_id, t=target: compactor._plan_groups(b, t)
+            )
+            for group in groups:
+                if len(group) < 2:
+                    if group:
+                        compactor.largest_finished = max(
+                            compactor.largest_finished, group[0]
+                        )
+                    continue
+                done = yield from self._compact_unit_protocol(
+                    compactor, base_id, group, stats
+                )
+                if done:
+                    stats["units"] += 1
+                if self.unit_pause:
+                    yield Think(self.unit_pause)
+        yield ReleaseAll()
+        return stats
+
+    def _side_pointer_neighbours(self, group: list[PageId]) -> list[PageId]:
+        """Leaves outside the unit whose side pointers the unit will edit.
+
+        Section 4.3: "the reorganizer has to RX lock some number of leaf
+        pages (X lock for those leaf pages that are not children of the
+        same base page as the leaf pages being reorganized) to make the
+        side-pointer changes ... the reorganizer [must] acquire all the
+        necessary locks before it starts moving records."
+        """
+        from repro.config import SidePointerKind
+
+        if self.tree.side_pointers is SidePointerKind.NONE:
+            return []
+        chain = self.tree.leaf_ids_in_key_order()
+        positions = [chain.index(p) for p in group if p in chain]
+        if not positions:
+            return []
+        first, last = min(positions), max(positions)
+        neighbours = []
+        if first > 0:
+            neighbours.append(chain[first - 1])
+        if last + 1 < len(chain):
+            neighbours.append(chain[last + 1])
+        return [n for n in neighbours if n not in group]
+
+    def _group_still_valid(self, base_id: PageId, group: list[PageId]) -> bool:
+        """Concurrent splits may have moved children to a sibling base
+        page between planning and locking; such groups are skipped (the
+        paper likewise leaves split-created disorder for a later pass)."""
+        if self.db.store.free_map.is_free(base_id):
+            return False
+        base = self.db.store.get_internal(base_id)
+        children = set(base.children())
+        return all(leaf in children for leaf in group)
+
+    def _compact_unit_protocol(self, compactor, base_id, group, stats):
+        """One reorganization unit with full locking; True when executed."""
+        target = compactor._target_records_per_page()
+        total = sum(
+            self.db.store.get_leaf(p).num_items
+            for p in group
+            if not self.db.store.free_map.is_free(p)
+        )
+        needed = max(1, -(-total // target))
+        if needed > 1 and self.config.max_unit_output_pages > 1:
+            dests = yield Call(
+                lambda: compactor._pick_free_run(needed, current=min(group))
+            )
+            if dests is not None:
+                done = yield from self._multi_unit_protocol(
+                    compactor, base_id, group, dests, target, stats
+                )
+                return done
+            # No usable free run: split into single-output sub-groups and
+            # run each under its own unit (the engine cannot overfill one
+            # destination page).
+            any_done = False
+            for sub in self._split_group(group, target):
+                if len(sub) < 2:
+                    if sub:
+                        compactor.largest_finished = max(
+                            compactor.largest_finished, sub[0]
+                        )
+                    continue
+                done = yield from self._compact_unit_protocol(
+                    compactor, base_id, sub, stats
+                )
+                any_done = any_done or done
+            return any_done
+        for _attempt in range(_MAX_UNIT_RETRIES):
+            current = min(group)
+            empty = find_free_page(
+                self.db.store,
+                self.config.free_space_policy,
+                largest_finished=compactor.largest_finished,
+                current=current,
+            )
+            if empty is not None:
+                dest, dest_is_new = empty, True
+            else:
+                beyond = [p for p in group if p > compactor.largest_finished]
+                dest = min(beyond) if beyond else min(group)
+                dest_is_new = False
+            unit_id = None
+            try:
+                probe_key = yield Call(
+                    lambda g=group: self.db.store.get_leaf(g[0]).min_key()
+                    if not self.db.store.free_map.is_free(g[0])
+                    and not self.db.store.get_leaf(g[0]).is_empty
+                    else None
+                )
+                if probe_key is None:
+                    return False
+                base_held = yield from self._s_couple_to_base(probe_key)
+                if base_held is None:
+                    return False  # tree shrank to a leaf root meanwhile
+                # R lock the base page (S from coupling is then released).
+                yield Acquire(page_lock(base_held), R)
+                yield Release(page_lock(base_held), S)
+                valid = yield Call(
+                    lambda: self._group_still_valid(base_held, group)
+                )
+                if not valid:
+                    stats["stale_groups"] += 1
+                    yield Release(page_lock(base_held), R)
+                    return False
+                # RX lock every leaf in the unit (and a new dest page),
+                # plus X on side-pointer neighbours outside the unit's
+                # base page (section 4.3) — all before any record moves.
+                for leaf in group:
+                    yield Acquire(page_lock(leaf), RX)
+                if dest_is_new:
+                    yield Acquire(page_lock(dest), RX)
+                neighbours = yield Call(
+                    lambda: self._side_pointer_neighbours(group)
+                )
+                for neighbour in neighbours:
+                    yield Acquire(page_lock(neighbour), X)
+                # Move records between leaf pages.
+                unit_id = yield Call(
+                    lambda bh=base_held: self.engine.begin_compact(
+                        bh, group, dest, dest_is_new=dest_is_new
+                    )
+                )
+                if self.op_duration:
+                    yield Think(self.op_duration)
+                # Upgrade the base-page lock to X mode (short window).
+                yield Convert(page_lock(base_held), X)
+                # Modify keys and pointers in the base page.
+                result = yield Call(
+                    lambda bh=base_held: self.engine.complete_compact(
+                        unit_id, bh, group, dest, dest_is_new=dest_is_new
+                    )
+                )
+                compactor.largest_finished = max(
+                    compactor.largest_finished, result.dest_page
+                )
+                # Release locks.
+                yield Release(page_lock(base_held), X)
+                for leaf in group:
+                    yield Release(page_lock(leaf), RX)
+                if dest_is_new:
+                    yield Release(page_lock(dest), RX)
+                for neighbour in neighbours:
+                    yield Release(page_lock(neighbour), X)
+                return True
+            except DeadlockError:
+                # The reorganizer always yields: give up the unit's locks.
+                stats["retries"] += 1
+                if unit_id is not None:
+                    # Records were already moved: section 5.2 undo.
+                    stats["undone"] += 1
+                    yield Call(lambda u=unit_id: self.engine.undo_unit(u))
+                yield ReleaseAll()
+                yield Think(_RETRY_PAUSE)
+                yield Acquire(tree_lock(self._lock_name()), IX)
+        raise ReorgError(f"unit on base {base_id} starved after retries")
+
+    def _split_group(self, group, target):
+        """Chunk an oversized group into <= one output page each."""
+        chunks, current, count = [], [], 0
+        for leaf in group:
+            if self.db.store.free_map.is_free(leaf):
+                continue
+            n = self.db.store.get_leaf(leaf).num_items
+            if current and count + n > target:
+                chunks.append(current)
+                current, count = [], 0
+            current.append(leaf)
+            count += n
+        if current:
+            chunks.append(current)
+        return chunks
+
+    def _multi_unit_protocol(self, compactor, base_id, group, dests, target, stats):
+        """A multi-output unit: same choreography, k destinations, and the
+        locks held ~k times longer (section 6's stated trade-off)."""
+        for _attempt in range(_MAX_UNIT_RETRIES):
+            unit_id = None
+            try:
+                probe_key = yield Call(
+                    lambda g=group: self.db.store.get_leaf(g[0]).min_key()
+                    if not self.db.store.free_map.is_free(g[0])
+                    and not self.db.store.get_leaf(g[0]).is_empty
+                    else None
+                )
+                if probe_key is None:
+                    return False
+                base_held = yield from self._s_couple_to_base(probe_key)
+                if base_held is None:
+                    return False
+                yield Acquire(page_lock(base_held), R)
+                yield Release(page_lock(base_held), S)
+                valid = yield Call(
+                    lambda: self._group_still_valid(base_held, group)
+                )
+                if not valid:
+                    stats["stale_groups"] += 1
+                    yield Release(page_lock(base_held), R)
+                    return False
+                for leaf in group:
+                    yield Acquire(page_lock(leaf), RX)
+                for dest in dests:
+                    yield Acquire(page_lock(dest), RX)
+                unit_id = yield Call(
+                    lambda bh=base_held: self.engine.begin_compact_multi(
+                        bh, group, dests, target
+                    )
+                )
+                if self.op_duration:
+                    # Movement time scales with the unit's output size.
+                    yield Think(self.op_duration * len(dests))
+                yield Convert(page_lock(base_held), X)
+                result = yield Call(
+                    lambda bh=base_held: self.engine.complete_compact_multi(
+                        unit_id, bh, group, dests
+                    )
+                )
+                compactor.largest_finished = max(
+                    compactor.largest_finished, max(dests)
+                )
+                del result
+                yield Release(page_lock(base_held), X)
+                for leaf in group:
+                    yield Release(page_lock(leaf), RX)
+                for dest in dests:
+                    yield Release(page_lock(dest), RX)
+                return True
+            except DeadlockError:
+                stats["retries"] += 1
+                if unit_id is not None:
+                    stats["undone"] += 1
+                    yield Call(lambda u=unit_id: self.engine.undo_unit(u))
+                yield ReleaseAll()
+                yield Think(_RETRY_PAUSE)
+                yield Acquire(tree_lock(self._lock_name()), IX)
+        raise ReorgError(f"multi unit on base {base_id} starved")
+
+    # -- pass 2 ------------------------------------------------------------------
+
+    def pass2(self) -> Generator[Any, Any, dict]:
+        """Swap/move under unit locking; section 4.1 + section 6."""
+        yield Acquire(tree_lock(self._lock_name()), IX)
+        stats = {"swaps": 0, "moves": 0, "retries": 0}
+        extent = self.db.store.disk.extent(LEAF_EXTENT)
+        max_steps = 4 * len(self.tree.leaf_ids_in_key_order()) + 8
+        for _step in range(max_steps):
+            plan = yield Call(lambda: self._next_misplaced(extent.start))
+            if plan is None:
+                break
+            current, target, occupied = plan
+            if not occupied:
+                done = yield from self._move_unit_protocol(current, target, stats)
+                if done:
+                    stats["moves"] += 1
+            else:
+                done = yield from self._swap_unit_protocol(current, target, stats)
+                if done:
+                    stats["swaps"] += 1
+            if self.unit_pause:
+                yield Think(self.unit_pause)
+        yield ReleaseAll()
+        return stats
+
+    def _next_misplaced(self, start: PageId):
+        """(leaf, target slot, slot-occupied?) for the first out-of-place
+        leaf, recomputed fresh so concurrent splits cannot mislead us."""
+        root = self.db.store.get(self.tree.root_id)
+        if root.kind is PageKind.LEAF:
+            return None
+        chain = self.tree.leaf_ids_in_key_order()
+        for index, leaf in enumerate(chain):
+            target = start + index
+            if leaf == target:
+                continue
+            occupied = not self.db.store.free_map.is_free(target)
+            if occupied and target not in chain[index + 1 :]:
+                # The slot holds a page that is not a later leaf of this
+                # tree (a fresh split landed there): leave it in place.
+                continue
+            return leaf, target, occupied
+        return None
+
+    def _parent_of(self, leaf_id: PageId) -> PageId:
+        leaf = self.db.store.get_leaf(leaf_id)
+        base = self.tree.base_page_for(leaf.min_key())
+        if base is None or base.index_of_child(leaf_id) < 0:
+            raise ReorgError(f"leaf {leaf_id} has no parent")
+        return base.page_id
+
+    def _move_unit_protocol(self, source, target, stats):
+        for _attempt in range(_MAX_UNIT_RETRIES):
+            unit_id = None
+            try:
+                probe_key = yield Call(
+                    lambda: self.db.store.get_leaf(source).min_key()
+                )
+                base_held = yield from self._s_couple_to_base(probe_key)
+                if base_held is None:
+                    return False
+                yield Acquire(page_lock(base_held), R)
+                yield Release(page_lock(base_held), S)
+                yield Acquire(page_lock(source), RX)
+                yield Acquire(page_lock(target), RX)
+                neighbours = yield Call(
+                    lambda: self._side_pointer_neighbours([source])
+                )
+                for neighbour in neighbours:
+                    yield Acquire(page_lock(neighbour), X)
+                unit_id = yield Call(
+                    lambda bh=base_held: self.engine.begin_compact(
+                        bh, [source], target, dest_is_new=True,
+                    )
+                )
+                if self.op_duration:
+                    yield Think(self.op_duration)
+                yield Convert(page_lock(base_held), X)
+                yield Call(
+                    lambda bh=base_held: self.engine.complete_compact(
+                        unit_id, bh, [source], target, dest_is_new=True
+                    )
+                )
+                yield Release(page_lock(base_held), X)
+                yield Release(page_lock(source), RX)
+                yield Release(page_lock(target), RX)
+                for neighbour in neighbours:
+                    yield Release(page_lock(neighbour), X)
+                return True
+            except DeadlockError:
+                stats["retries"] += 1
+                if unit_id is not None:
+                    yield Call(lambda u=unit_id: self.engine.undo_unit(u))
+                yield ReleaseAll()
+                yield Think(_RETRY_PAUSE)
+                yield Acquire(tree_lock(self._lock_name()), IX)
+        raise ReorgError(f"move of {source} starved")
+
+    def _swap_unit_protocol(self, leaf_a, leaf_b, stats):
+        for _attempt in range(_MAX_UNIT_RETRIES):
+            unit_id = None
+            try:
+                base_a = yield Call(lambda: self._parent_of(leaf_a))
+                base_b = yield Call(lambda: self._parent_of(leaf_b))
+                probe_key = yield Call(
+                    lambda: self.db.store.get_leaf(leaf_a).min_key()
+                )
+                held = yield from self._s_couple_to_base(probe_key)
+                if held is None:
+                    return False
+                yield Acquire(page_lock(base_a), R)
+                yield Release(page_lock(held), S)
+                if base_b != base_a:
+                    yield Acquire(page_lock(base_b), R)
+                yield Acquire(page_lock(leaf_a), RX)
+                yield Acquire(page_lock(leaf_b), RX)
+                neighbours = yield Call(
+                    lambda: sorted(
+                        set(self._side_pointer_neighbours([leaf_a]))
+                        | set(self._side_pointer_neighbours([leaf_b]))
+                        - {leaf_a, leaf_b}
+                    )
+                )
+                for neighbour in neighbours:
+                    yield Acquire(page_lock(neighbour), X)
+                unit_id = yield Call(
+                    lambda: self.engine.begin_swap(base_a, leaf_a, base_b, leaf_b)
+                )
+                if self.op_duration:
+                    yield Think(self.op_duration)
+                yield Convert(page_lock(base_a), X)
+                if base_b != base_a:
+                    yield Convert(page_lock(base_b), X)
+                yield Call(
+                    lambda: self.engine.complete_swap(
+                        unit_id, base_a, leaf_a, base_b, leaf_b
+                    )
+                )
+                yield Release(page_lock(base_a), X)
+                if base_b != base_a:
+                    yield Release(page_lock(base_b), X)
+                yield Release(page_lock(leaf_a), RX)
+                yield Release(page_lock(leaf_b), RX)
+                for neighbour in neighbours:
+                    yield Release(page_lock(neighbour), X)
+                return True
+            except DeadlockError:
+                stats["retries"] += 1
+                if unit_id is not None:
+                    yield Call(lambda u=unit_id: self.engine.undo_unit(u))
+                yield ReleaseAll()
+                yield Think(_RETRY_PAUSE)
+                yield Acquire(tree_lock(self._lock_name()), IX)
+        raise ReorgError(f"swap of {leaf_a}/{leaf_b} starved")
+
+    # -- pass 3 ------------------------------------------------------------------
+
+    def pass3(self) -> Generator[Any, Any, dict]:
+        """Internal reorganization: S one base page at a time, side file,
+        and the section 7.4 switch."""
+        yield Acquire(tree_lock(self._lock_name()), IX)
+        shrinker = TreeShrinker(self.db, self.tree, self.config)
+        shrinker.attach_listener()
+        stats = {"base_pages": 0, "catchup_rounds": 0, "aborted_stragglers": 0}
+        try:
+            root = self.db.store.get(self.tree.root_id)
+            if root.kind is PageKind.LEAF:
+                yield ReleaseAll()
+                return stats
+            first = yield Call(
+                lambda: shrinker._base_page_for_key(shrinker._smallest_key())
+            )
+            base_id = first.page_id
+            shrinker._current_key = shrinker._low_mark_of(first)
+            yield Call(shrinker._stable_point)
+            while base_id is not None:
+                # "The reorganizer only holds an S lock on the base page
+                # that it is reading, so other readers could also access
+                # that page" (section 7.1).
+                yield Acquire(page_lock(base_id), S)
+                next_base_id = yield Call(
+                    lambda b=base_id: self._scan_one_base(shrinker, b)
+                )
+                stats["base_pages"] += 1
+                if (
+                    shrinker._pages_since_stable
+                    >= self.config.stable_point_interval
+                ):
+                    yield Call(shrinker._stable_point)
+                if self.scan_pause:
+                    # Reading time, charged while the S lock is held.
+                    yield Think(self.scan_pause)
+                yield Release(page_lock(base_id), S)
+                base_id = next_base_id
+            yield Call(shrinker.build_upper)
+            # Catch-up (no locks): loop until the side file drains.
+            for _round in range(100):
+                yield Call(shrinker.apply_side_file_once)
+                stats["catchup_rounds"] += 1
+                if shrinker.side_file.is_empty():
+                    break
+                yield Think(self.scan_pause or 0.1)
+            yield from self._switch_protocol(shrinker, stats)
+        finally:
+            shrinker.detach_listener()
+        yield ReleaseAll()
+        return stats
+
+    def _scan_one_base(self, shrinker: TreeShrinker, base_id: PageId):
+        """Read one (S-locked) base page, emit its entries, advance CK.
+
+        Returns the next base page id or None.  Runs synchronously inside
+        a Call so the page content and CK advance atomically w.r.t. the
+        held S lock, exactly as in the paper.
+        """
+        base = self.db.store.get_internal(base_id)
+        entries = list(base.entries)
+        for key, child in entries:
+            shrinker._emit(key, child)
+        shrinker.stats.base_pages_read += 1
+        shrinker.stats.entries_scanned += len(entries)
+        next_base = shrinker._next_base_after(entries[-1][0])
+        shrinker._current_key = (
+            shrinker._low_mark_of(next_base)
+            if next_base is not None
+            else SCAN_DONE_KEY
+        )
+        return next_base.page_id if next_base is not None else None
+
+    def _switch_protocol(self, shrinker: TreeShrinker, stats: dict):
+        from repro.wal.records import ReorgDoneRecord, TreeSwitchRecord
+
+        db = self.db
+        yield Acquire(sidefile_lock(), X)
+        yield Call(shrinker.apply_side_file_once)
+        old_root = self.tree.root_id
+        new_root = shrinker.new_root
+        old_lock_name = current_lock_name(db, self.tree_name)
+
+        def log_switch():
+            db.log.append(
+                TreeSwitchRecord(
+                    old_root=old_root,
+                    new_root=new_root,
+                    old_lock_name=old_lock_name,
+                )
+            )
+            db.log.flush()
+
+        yield Call(log_switch)
+        yield Call(lambda: _flip_root(db, self.tree, new_root))
+        # Drain old-tree transactions: X on the old lock name.  With a
+        # wait limit, poll and force stragglers to abort (section 7.4).
+        limit = self.config.switch_wait_limit
+        if limit is not None:
+            waited = 0.0
+            poll = max(limit / 10.0, 0.01)
+            while True:
+                holders = yield Call(
+                    lambda: [
+                        owner
+                        for owner in db.locks.holders_of(
+                            tree_lock(old_lock_name)
+                        )
+                        # The reorganizer's own IX on the old tree does not
+                        # count as a straggler.
+                        if not getattr(owner, "is_reorganizer", False)
+                    ]
+                )
+                if not holders:
+                    break
+                if waited >= limit:
+                    if not self.config.abort_old_transactions_on_timeout:
+                        raise SwitchTimeoutError(
+                            f"old tree still in use after {limit} time units"
+                        )
+                    if self.abort_hook is not None:
+                        yield Call(lambda h=holders: self.abort_hook(h))
+                        stats["aborted_stragglers"] += len(holders)
+                    else:
+                        raise SwitchTimeoutError(
+                            "forced abort requested but no abort_hook is wired"
+                        )
+                yield Think(poll)
+                waited += poll
+        yield Acquire(tree_lock(old_lock_name), X)
+        freed = yield Call(
+            lambda: Switcher(db, self.tree, shrinker)._discard_internals_under(
+                old_root
+            )
+        )
+
+        def finish():
+            db.log.append(ReorgDoneRecord())
+            db.log.flush()
+            _clear_pass3(db, shrinker)
+
+        yield Call(finish)
+        yield Release(tree_lock(old_lock_name), X)
+        yield Release(sidefile_lock(), X)
+        stats["old_internal_freed"] = freed
+
+
+def _flip_root(db: Database, tree: BPlusTree, new_root: PageId) -> None:
+    _bump_lock_name(db, tree.name)
+    tree.set_root(new_root)
+    db.store.disk.del_meta(f"root:{tree.name}.new")
+
+
+def _clear_pass3(db: Database, shrinker: TreeShrinker) -> None:
+    db.pass3.reorg_bit = False
+    db.pass3.stable_key = None
+    db.pass3.new_root = -1
+    db.pass3.side_file_entries.clear()
+    shrinker.built_entries.clear()
+
+
+def full_reorganization(protocol: ReorgProtocol) -> Generator[Any, Any, dict]:
+    """All three passes as one background process."""
+    stats: dict = {}
+    stats["pass1"] = yield from protocol.pass1()
+    if protocol.config.do_swap_pass:
+        stats["pass2"] = yield from protocol.pass2()
+    root = protocol.db.store.get(protocol.tree.root_id)
+    if root.kind is PageKind.INTERNAL:
+        stats["pass3"] = yield from protocol.pass3()
+    return stats

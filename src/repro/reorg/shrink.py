@@ -1,0 +1,410 @@
+"""Pass 3: rebuilding the upper levels of the tree (paper section 7).
+
+The reorganizer reads the *old* base pages left to right — "we read the
+keys in ascending order" — and streams their (key, leaf pointer) entries
+into freshly allocated **new base pages**, filled to the configured fill
+factor ([Sal88] bottom-up construction).  The leaves are never touched.
+Once the base level is complete, the upper levels are built over it and
+the side file is caught up; :mod:`repro.reorg.switch` then moves the world
+to the new tree.
+
+Scan-position protocol (section 7.1):
+
+* ``CK``, the low mark of the base page currently being reorganized, is
+  exposed through :meth:`TreeShrinker.get_current` (the paper's
+  ``Get_Current()``), and is advanced to the *next* base page's low mark
+  before the reorganizer "gives up the S lock on the base page it just
+  finished reading".
+* Concurrent base-page changes are observed through the tree's
+  ``base_change_listener``; a change whose key is below CK "has been
+  inserted into one of the base pages that we have already read", so it is
+  appended to the side file; keys at or above CK will be read normally.
+
+Stable points (section 7.3): every ``stable_point_interval`` new base
+pages, the open page is closed, all new pages are forced to disk, and a
+``StableKeyRecord`` is logged carrying the next key to read plus the new
+base pages built so far.  A crash rolls pass 3 back to the last stable
+point only: internal pages allocated afterwards are deallocated, side-file
+entries at or beyond the stable key are dropped (the scan will re-read
+them), and the scan resumes at the stable key.
+
+Deviation from the paper, recorded in DESIGN.md: the paper pipelines upper-
+level construction with the base-level scan; we build the upper levels once
+the base level is complete.  The paper itself assumes "the internal pages
+above the base page level should be in memory", and the observable
+restart/stability behaviour (bounded rework from the last stable key,
+orphan deallocation) is preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.btree.bulkload import build_upper_levels
+from repro.btree.tree import BPlusTree
+from repro.config import ReorgConfig
+from repro.db import Database
+from repro.errors import ReorgError
+from repro.reorg.sidefile import SideFile
+from repro.storage.page import InternalPage, PageId, PageKind
+from repro.wal.apply import apply_record
+from repro.wal.records import (
+    AllocRecord,
+    FreeRecord,
+    InternalFormatRecord,
+    StableKeyRecord,
+)
+
+#: CK sentinel once every base page has been read: above every real key.
+SCAN_DONE_KEY = 2**62
+
+
+@dataclass
+class Pass3Stats:
+    """Outcome of the upper-level rebuild (excluding the switch)."""
+
+    base_pages_read: int = 0
+    entries_scanned: int = 0
+    new_base_pages: int = 0
+    new_internal_pages: int = 0
+    stable_points: int = 0
+    sidefile_appended: int = 0
+    sidefile_applied: int = 0
+    catchup_rounds: int = 0
+    restarted_from_key: int | None = None
+    orphans_freed: int = 0
+
+
+class TreeShrinker:
+    """Builds the new upper levels beside the old tree."""
+
+    def __init__(
+        self,
+        db: Database,
+        tree: BPlusTree,
+        config: ReorgConfig,
+    ):
+        self.db = db
+        self.tree = tree
+        self.config = config
+        self.side_file = SideFile(db)
+        self.stats = Pass3Stats()
+        #: Closed new base pages so far: (low key, page id).
+        self.built_entries: list[tuple[int, PageId]] = db.pass3.built_entries
+        self._open_entries: list[tuple[int, PageId]] = []
+        self._open_page: InternalPage | None = None
+        self._pages_since_stable = 0
+        self._unforced_pages: list[PageId] = []
+        #: CK — low mark of the base page currently being reorganized.
+        self._current_key: int | None = None
+        self.new_root: PageId = -1
+
+    # -- the paper's utilities ---------------------------------------------------
+
+    def get_current(self) -> int:
+        """``Get_Current()``: the scan's current low-mark key."""
+        if self._current_key is None:
+            raise ReorgError("pass 3 is not scanning")
+        return self._current_key
+
+    @property
+    def scanning(self) -> bool:
+        return self._current_key is not None
+
+    # -- listener: section 7.2 updater logic ------------------------------------------
+
+    def _on_base_change(self, op: str, base_page: PageId, key: int, child: PageId) -> None:
+        """Called for every base-entry change on the old tree during pass 3.
+
+        "If it is greater, then we don't need to append it, because it must
+        have been inserted in a base page we haven't read yet. ... If it is
+        smaller, then we know it has been inserted into one of the base
+        pages that we have already read."
+        """
+        if self._current_key is None:
+            return
+        if key < self._current_key:
+            self.side_file.append(key, child, op)
+            self.stats.sidefile_appended += 1
+
+    def attach_listener(self) -> None:
+        self.db.pass3.reorg_bit = True
+        self.tree.base_change_listener = self._on_base_change
+
+    def detach_listener(self) -> None:
+        self.tree.base_change_listener = None
+
+    # -- scanning the old base level -----------------------------------------------------
+
+    def scan(self, during_scan=None, *, resume_from: int | None = None) -> None:
+        """Read old base pages in key order, emitting new base pages.
+
+        ``during_scan(shrinker)`` runs after each base page is finished —
+        the hook where tests and the concurrency driver inject concurrent
+        updater activity.  ``resume_from`` restarts the scan at a stable
+        key after a crash.
+        """
+        root = self.db.store.get(self.tree.root_id)
+        if root.kind is PageKind.LEAF:
+            raise ReorgError("tree has no internal levels to rebuild")
+        base = self._base_page_for_key(
+            resume_from if resume_from is not None else self._smallest_key()
+        )
+        self._current_key = self._low_mark_of(base)
+        # Filter already-emitted entries only on the first (resumed) page,
+        # and only when earlier stable work actually exists — resuming at
+        # the very first page must not drop entries lowered below the low
+        # mark by under-minimum inserts.
+        first_page_floor = (
+            resume_from if resume_from is not None and self.built_entries else None
+        )
+        # Anchor a stable point at scan start so a crash at any later
+        # moment always has a well-defined (stable key, built pages) pair
+        # to roll back to.
+        self._stable_point()
+        while base is not None:
+            probe_key = base.entries[-1][0]
+            entries = list(base.entries)
+            if first_page_floor is not None:
+                entries = [e for e in entries if e[0] >= first_page_floor]
+                first_page_floor = None
+            for key, child in entries:
+                self._emit(key, child)
+            self.stats.base_pages_read += 1
+            self.stats.entries_scanned += len(entries)
+            next_base = self._next_base_after(probe_key)
+            # "The value of CK is changed by the reorganizer to
+            # Get_Next(CK) before it gives up the S lock on the base page
+            # it just finished reading."
+            self._current_key = (
+                self._low_mark_of(next_base) if next_base is not None else SCAN_DONE_KEY
+            )
+            if self._pages_since_stable >= self.config.stable_point_interval:
+                self._stable_point()
+            if during_scan is not None:
+                during_scan(self)
+            base = next_base
+        self._close_open_page()
+
+    def _smallest_key(self) -> int:
+        leaf = self.db.store.get_leaf(self.tree.leftmost_leaf_id())
+        base = self.tree.base_page_for(
+            leaf.min_key() if not leaf.is_empty else 0
+        )
+        assert base is not None
+        return base.min_key()
+
+    def _base_page_for_key(self, key: int) -> InternalPage | None:
+        return self.tree.base_page_for(key)
+
+    def _next_base_after(self, key: int) -> InternalPage | None:
+        """``Get_Next(k)``: the base page after the one covering ``key``."""
+        page = self.db.store.get(self.tree.root_id)
+        candidate: PageId | None = None
+        while page.kind is PageKind.INTERNAL and page.level > 1:  # type: ignore[union-attr]
+            index = page.child_index_for(key)  # type: ignore[union-attr]
+            children = page.children()  # type: ignore[union-attr]
+            if index + 1 < len(children):
+                candidate = children[index + 1]
+            page = self.db.store.get(children[index])
+        if page.kind is PageKind.LEAF:
+            return None  # the root is a leaf; no base level
+        if candidate is None:
+            return None
+        # Leftmost level-1 descendant of the candidate subtree.
+        page = self.db.store.get(candidate)
+        while page.kind is PageKind.INTERNAL and page.level > 1:  # type: ignore[union-attr]
+            page = self.db.store.get(page.children()[0])  # type: ignore[union-attr]
+        return page  # type: ignore[return-value]
+
+    @staticmethod
+    def _low_mark_of(base: InternalPage) -> int:
+        return base.low_mark if base.low_mark is not None else base.min_key()
+
+    # -- emitting new base pages ------------------------------------------------------
+
+    def _per_page(self) -> int:
+        capacity = self.db.store.config.internal_capacity
+        return max(1, math.floor(capacity * self.config.internal_fill + 1e-9))
+
+    def _emit(self, key: int, child: PageId) -> None:
+        if self._open_page is None:
+            page = self.db.store.allocate_internal(level=1)
+            self.db.log.append(AllocRecord(page_id=page.page_id, kind="internal", level=1))
+            self._open_page = page
+            self._open_entries = []
+        self._open_entries.append((key, child))
+        if len(self._open_entries) >= self._per_page():
+            self._close_open_page()
+
+    def _close_open_page(self) -> None:
+        if self._open_page is None or not self._open_entries:
+            return
+        record = InternalFormatRecord(
+            page_id=self._open_page.page_id,
+            level=1,
+            entries=tuple(self._open_entries),
+            low_mark=self._open_entries[0][0],
+        )
+        self.db.log.append(record)
+        apply_record(self.db.store, record)
+        self.built_entries.append(
+            (self._open_entries[0][0], self._open_page.page_id)
+        )
+        self._unforced_pages.append(self._open_page.page_id)
+        self._pages_since_stable += 1
+        self.stats.new_base_pages += 1
+        self.stats.new_internal_pages += 1
+        self._open_page = None
+        self._open_entries = []
+
+    def _stable_point(self) -> None:
+        """Force recent pages and log the restart point (section 7.3)."""
+        self._close_open_page()
+        self.db.store.force(self._unforced_pages)
+        self._unforced_pages = []
+        record = StableKeyRecord(
+            stable_key=self._current_key if self._current_key is not None else SCAN_DONE_KEY,
+            new_root=self.new_root,
+            built_entries=tuple(self.built_entries),
+        )
+        self.db.log.append(record)
+        self.db.log.flush()
+        self.db.pass3.stable_key = record.stable_key
+        self._pages_since_stable = 0
+        self.stats.stable_points += 1
+
+    # -- upper levels --------------------------------------------------------------
+
+    def build_upper(self) -> PageId:
+        """Build levels 2+ over the finished new base level, force them,
+        and record the new root."""
+        self._close_open_page()
+        if not self.built_entries:
+            raise ReorgError("no new base pages were built")
+        if len(self.built_entries) == 1:
+            self.new_root = self.built_entries[0][1]
+        else:
+            built: list[PageId] = []
+            self.new_root = build_upper_levels(
+                self.db.store,
+                self.db.log,
+                self.built_entries,
+                fill=self.config.internal_fill,
+                start_level=2,
+                on_page_built=lambda page: built.append(page.page_id),
+            )
+            self.stats.new_internal_pages += len(built)
+            self._unforced_pages.extend(built)
+        # "We have to make the new B+-tree durable before we make the
+        # switch" (section 7.3).
+        self.db.store.force(self._unforced_pages)
+        self._unforced_pages = []
+        final = StableKeyRecord(
+            stable_key=SCAN_DONE_KEY,
+            new_root=self.new_root,
+            built_entries=tuple(self.built_entries),
+        )
+        self.db.log.append(final)
+        self.db.log.flush()
+        self.db.pass3.stable_key = SCAN_DONE_KEY
+        self.db.pass3.new_root = self.new_root
+        # Register the new tree under a scratch name so catch-up can use
+        # ordinary tree machinery against it.
+        self.db.store.disk.set_meta(self._scratch_name(), self.new_root)
+        return self.new_root
+
+    def _scratch_name(self) -> str:
+        return f"root:{self.tree.name}.new"
+
+    def new_tree_handle(self) -> BPlusTree:
+        handle = BPlusTree(self.db.store, self.db.log, name=f"{self.tree.name}.new")
+        if self.db.store.disk.get_meta(self._scratch_name()) is None:
+            raise ReorgError("new tree is not built yet")
+        return handle
+
+    # -- catch-up -------------------------------------------------------------------
+
+    def apply_side_file_once(self) -> int:
+        """Apply every entry currently in the side file to the new tree.
+
+        "As each side file record is applied to the new tree, that record
+        is deleted from the side file.  The actions of changing the new
+        base page and of removing the side file record are logged."
+        Returns the number applied.
+        """
+        new_tree = self.new_tree_handle()
+        applied = 0
+        while not self.side_file.is_empty():
+            entry = self.side_file.pop_front()
+            key, child, op = entry
+            if op == "insert":
+                new_tree.insert_base_entry(key, child)
+            else:
+                new_tree.delete_base_entry(key, child)
+            base_id = new_tree.path_to_base(key)[-1]
+            self.side_file.log_applied(entry, base_id)
+            applied += 1
+        # The root may have moved if catch-up split new base pages.
+        self.new_root = new_tree.root_id
+        self.db.pass3.new_root = self.new_root
+        self.stats.sidefile_applied += applied
+        return applied
+
+    def catch_up(self, during_catchup=None, *, max_rounds: int = 100) -> None:
+        """Drain the side file, looping while concurrent activity refills
+        it ("Since leaf page splits don't happen very often, we will
+        eventually catch up all the changes")."""
+        rounds = 0
+        while True:
+            self.apply_side_file_once()
+            rounds += 1
+            if during_catchup is not None and rounds < max_rounds:
+                during_catchup(self)
+            if self.side_file.is_empty():
+                break
+            if rounds >= max_rounds:
+                raise ReorgError(
+                    f"side file did not converge in {max_rounds} rounds"
+                )
+        self.stats.catchup_rounds = rounds
+
+    # -- crash restart ----------------------------------------------------------------
+
+    def restart_after_crash(self, *, allocs_after_stable: list[PageId]) -> int | None:
+        """Roll pass 3 back to the last stable point (section 7.3).
+
+        Deallocates new-tree pages allocated after the most recent stable
+        point ("Space which is allocated after the most recent force-write
+        log record can be deallocated during recovery"), drops side-file
+        entries the restarted scan will re-read, and returns the stable key
+        to resume from (None = start over).
+        """
+        stable_key = self.db.pass3.stable_key
+        old_tree_internals = self._old_tree_internal_ids()
+        freed = 0
+        for pid in allocs_after_stable:
+            if pid in old_tree_internals:
+                continue  # belongs to the old tree (a concurrent split)
+            if self.db.store.free_map.is_free(pid):
+                continue
+            self.db.log.append(FreeRecord(page_id=pid))
+            self.db.store.deallocate(pid)
+            freed += 1
+        self.stats.orphans_freed = freed
+        if stable_key is not None:
+            dropped = self.side_file.drop_after_key(stable_key)
+            del dropped
+            self.stats.restarted_from_key = stable_key
+        return stable_key
+
+    def _old_tree_internal_ids(self) -> set[PageId]:
+        ids: set[PageId] = set()
+        stack = [self.tree.root_id]
+        while stack:
+            page = self.db.store.get(stack.pop())
+            if page.kind is PageKind.INTERNAL:
+                ids.add(page.page_id)
+                stack.extend(page.children())  # type: ignore[union-attr]
+        return ids

@@ -1,0 +1,107 @@
+"""Pass 2: swapping and moving leaves into contiguous key order on disk.
+
+Paper section 6: "Finally we are going to swap leaf pages to make them
+contiguous in the key order."  The pass is optional — "the user can decide
+not to do swapping"; "One scenario we envision is choosing to do swapping
+only when range query performance falls below some acceptable level."
+
+The implementation walks the leaves in key order and drives each one to its
+target slot (the i-th leaf belongs at the i-th page of the leaf extent):
+
+* target slot free           -> **Moving** (a MOVE unit, new-place; cheaper:
+  one base page, and careful writing keeps the log small);
+* target slot holds a leaf   -> **Swapping** (a SWAP unit; "swapping usually
+  involves two distinct base pages" and always logs a full page image).
+
+Benchmark E1 counts the swaps this pass needs under each pass-1 empty-page
+policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.btree.tree import BPlusTree
+from repro.db import Database
+from repro.errors import ReorgError
+from repro.reorg.unit import UnitEngine
+from repro.storage.page import PageId, PageKind
+from repro.storage.store import LEAF_EXTENT
+
+
+@dataclass
+class Pass2Stats:
+    """Outcome of the swap/move pass."""
+
+    swaps: int = 0
+    moves: int = 0
+    already_placed: int = 0
+
+    @property
+    def operations(self) -> int:
+        return self.swaps + self.moves
+
+
+class SwapMovePass:
+    """Runs pass 2 synchronously against one tree."""
+
+    def __init__(
+        self,
+        db: Database,
+        tree: BPlusTree,
+        engine: UnitEngine | None = None,
+    ):
+        self.db = db
+        self.tree = tree
+        self.engine = engine or UnitEngine(db, tree)
+
+    def run(self) -> Pass2Stats:
+        stats = Pass2Stats()
+        root = self.db.store.get(self.tree.root_id)
+        if root.kind is PageKind.LEAF:
+            return stats  # a single-leaf tree is trivially in order
+        extent = self.db.store.disk.extent(LEAF_EXTENT)
+        chain = self.tree.leaf_ids_in_key_order()
+        position = {pid: i for i, pid in enumerate(chain)}
+        for index in range(len(chain)):
+            current = chain[index]
+            target = extent.start + index
+            if current == target:
+                stats.already_placed += 1
+                continue
+            if self.db.store.free_map.is_free(target):
+                self._move(current, target)
+                chain[index] = target
+                position.pop(current, None)
+                position[target] = index
+                stats.moves += 1
+            else:
+                occupant_index = position.get(target)
+                if occupant_index is None or occupant_index <= index:
+                    raise ReorgError(
+                        f"page {target} is allocated but not a later leaf "
+                        f"of this tree; cannot place leaf {current}"
+                    )
+                self._swap(current, target)
+                chain[index], chain[occupant_index] = target, current
+                position[target] = index
+                position[current] = occupant_index
+                stats.swaps += 1
+        return stats
+
+    def _parent_of(self, leaf_id: PageId) -> PageId:
+        leaf = self.db.store.get_leaf(leaf_id)
+        if leaf.is_empty:
+            raise ReorgError(f"leaf {leaf_id} is empty; pass 1 must run first")
+        base = self.tree.base_page_for(leaf.min_key())
+        if base is None or base.index_of_child(leaf_id) < 0:
+            raise ReorgError(f"cannot locate parent of leaf {leaf_id}")
+        return base.page_id
+
+    def _move(self, source: PageId, dest: PageId) -> None:
+        self.engine.move_unit(self._parent_of(source), source, dest)
+
+    def _swap(self, leaf_a: PageId, leaf_b: PageId) -> None:
+        self.engine.swap_unit(
+            self._parent_of(leaf_a), leaf_a, self._parent_of(leaf_b), leaf_b
+        )

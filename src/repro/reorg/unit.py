@@ -1,0 +1,1000 @@
+"""Reorganization units: the leaf-level operations of passes 1 and 2.
+
+A *reorganization unit* is the paper's atom of leaf reorganization
+(section 5): a compaction of several children of one base page, a move of
+one leaf to an empty page, or a swap of two leaves.  Each unit logs
+
+    BEGIN -> (MOVE | SWAP)* -> MODIFY* -> END
+
+chained through ``prev_lsn`` and mirrored in the in-memory progress table,
+exactly as section 5 prescribes.  The BEGIN record "is only written after
+all leaf page locks for the reorganization unit are acquired" — the engine
+assumes its caller (the synchronous driver or the DES protocol generator)
+has done the locking; the engine performs data movement and logging only.
+
+**Careful writing** (section 5): when the buffer manager enforces
+write-before dependencies, MOVE records carry only the keys of the moved
+records; otherwise full record contents are logged.  Swaps always log at
+least one full page image.
+
+**Forward recovery** (section 5.1): :meth:`UnitEngine.finish_unit` takes
+the :class:`~repro.wal.recovery.PendingReorgUnit` recovered after a crash
+and completes the unit *by inspecting current page state* — every step is
+idempotent, so "the reorganization unit will be able to finish the work
+instead of rolling back and wasting the work that has already been done."
+
+**Undo at deadlock** (section 5.2): :meth:`UnitEngine.undo_unit` moves
+already-moved records back, for the rare case where the reorganizer
+deadlocks after data movement (e.g. while upgrading R to X).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.config import SidePointerKind
+from repro.db import Database
+from repro.errors import ReorgError
+from repro.btree.tree import BPlusTree
+from repro.storage.page import LeafPage, NO_PAGE, PageId, Record
+from repro.wal.apply import MoveStash, apply_record
+from repro.wal.records import (
+    AllocRecord,
+    FreeRecord,
+    LeafFormatRecord,
+    ReorgBeginRecord,
+    ReorgEndRecord,
+    ReorgModifyRecord,
+    ReorgMoveInRecord,
+    ReorgMoveOutRecord,
+    ReorgRecord,
+    ReorgSwapRecord,
+    ReorgUnitType,
+    SidePointerRecord,
+    TxnRecord,
+)
+from repro.wal.recovery import PendingReorgUnit
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """Summary of one executed unit."""
+
+    unit_id: int
+    unit_type: ReorgUnitType
+    dest_page: PageId
+    sources_freed: tuple[PageId, ...]
+    largest_key: int
+    records_moved: int
+
+
+class UnitEngine:
+    """Executes reorganization units against one tree."""
+
+    def __init__(self, db: Database, tree: BPlusTree):
+        self.db = db
+        self.tree = tree
+        self.store = db.store
+        self.log = db.log
+        self._unit_ids = itertools.count(1)
+        #: Stash for keys-only MOVE records within the current unit.
+        self._stash: MoveStash = {}
+
+    # -- logging plumbing -----------------------------------------------------
+
+    def _next_unit_id(self) -> int:
+        return next(self._unit_ids)
+
+    def resume_unit_ids_after(self, unit_id: int) -> None:
+        """After forward recovery, keep unit ids monotonic (section 5:
+        "Unit m is a monotonically increasing integer")."""
+        self._unit_ids = itertools.count(unit_id + 1)
+
+    def _log_unit(self, record: ReorgRecord) -> ReorgRecord:
+        """Append a unit record, maintaining the chain + progress table.
+
+        Chains are per unit (BEGIN starts at prev_lsn 0), so several units
+        may be in flight at once — the parallel-reorganization extension.
+        """
+        if isinstance(record, ReorgBeginRecord):
+            record.prev_lsn = 0
+        else:
+            record.prev_lsn = self.db.progress.recent_lsn_of(record.unit_id)
+        lsn = self.log.append(record)
+        if isinstance(record, ReorgBeginRecord):
+            self.db.progress.unit_started(record.unit_id, lsn)
+        elif isinstance(record, ReorgEndRecord):
+            self.db.progress.unit_finished(
+                record.largest_key, unit_id=record.unit_id
+            )
+        else:
+            self.db.progress.unit_logged(lsn, unit_id=record.unit_id)
+        return record
+
+    def _log_structural(self, record: TxnRecord) -> TxnRecord:
+        """Append and apply a structural record that belongs to the unit's
+        work but uses the system-transaction family (Alloc/Free/Format/
+        SidePointer)."""
+        self.log.append(record)
+        apply_record(self.store, record)
+        return record
+
+    # -- compact / move units -----------------------------------------------------
+
+    def compact_unit(
+        self,
+        base_page: PageId,
+        sources: list[PageId],
+        dest: PageId,
+        *,
+        dest_is_new: bool,
+    ) -> UnitResult:
+        """Compact ``sources`` (children of ``base_page``) into ``dest``.
+
+        In-place when ``dest`` is one of the sources (paper section 4.1);
+        new-place copy-and-switch when ``dest`` is a free page the caller
+        picked with Find-Free-Space (section 4.2).
+        """
+        if dest_is_new and dest in sources:
+            raise ReorgError("a new-place dest cannot be one of the sources")
+        if not dest_is_new and dest not in sources:
+            raise ReorgError("an in-place dest must be one of the sources")
+        unit_id = self.begin_compact(base_page, sources, dest, dest_is_new=dest_is_new)
+        return self.complete_compact(
+            unit_id, base_page, sources, dest, dest_is_new=dest_is_new
+        )
+
+    def begin_compact(
+        self,
+        base_page: PageId,
+        sources: list[PageId],
+        dest: PageId,
+        *,
+        dest_is_new: bool,
+        unit_type: ReorgUnitType = ReorgUnitType.COMPACT,
+    ) -> int:
+        """First half of a compact/move unit: BEGIN plus record movement.
+
+        The DES protocol calls this while holding R on the base page and RX
+        on the leaves; it then converts R to X and calls
+        :meth:`complete_compact`.  "Our new locking protocol only holds an
+        X lock on base pages for a short period of time, after the records
+        in the leaf pages have been reorganized" (section 4.1).
+        """
+        unit_id = self._next_unit_id()
+        begin = ReorgBeginRecord(
+            unit_id=unit_id,
+            unit_type=unit_type,
+            base_pages=(base_page,),
+            leaf_pages=tuple(sources),
+            dest_page=dest,
+        )
+        self._log_unit(begin)
+        self._move_phase(unit_id, sources, dest, dest_is_new)
+        return unit_id
+
+    def complete_compact(
+        self,
+        unit_id: int,
+        base_page: PageId,
+        sources: list[PageId],
+        dest: PageId,
+        *,
+        dest_is_new: bool,
+    ) -> UnitResult:
+        """Second half: base-page MODIFYs, side pointers, frees, END.
+
+        The caller holds X on the base page for exactly this call.
+        """
+        unit_type = ReorgUnitType.MOVE if (
+            dest_is_new and len(sources) == 1
+        ) else ReorgUnitType.COMPACT
+        self._finish_phase(unit_id, base_page, sources, dest, dest_is_new)
+        largest = self._largest_key_of(dest)
+        moved = self.store.get_leaf(dest).num_items
+        self._log_unit(ReorgEndRecord(unit_id=unit_id, largest_key=largest))
+        freed = tuple(s for s in sources if s != dest)
+        return UnitResult(unit_id, unit_type, dest, freed, largest, moved)
+
+    def compact_unit_multi(
+        self,
+        base_page: PageId,
+        sources: list[PageId],
+        dests: list[PageId],
+        *,
+        target_per_page: int,
+    ) -> UnitResult:
+        """One unit that constructs *several* new leaf pages (section 6:
+        "While we could construct more than one page, it would require the
+        reorganization unit to hold locks longer").
+
+        All destinations are fresh empty pages (multi-output is new-place
+        only); the sources' records are repacked into them in key order,
+        ``target_per_page`` records each.  One BEGIN..END, one base-page
+        X window — the lock-hold-time trade-off the A3 ablation measures.
+        """
+        if len(dests) < 2:
+            raise ReorgError("multi-output units need at least two dests")
+        if set(dests) & set(sources):
+            raise ReorgError("multi-output dests must all be fresh pages")
+        unit_id = self.begin_compact_multi(
+            base_page, sources, dests, target_per_page
+        )
+        return self.complete_compact_multi(unit_id, base_page, sources, dests)
+
+    def begin_compact_multi(
+        self,
+        base_page: PageId,
+        sources: list[PageId],
+        dests: list[PageId],
+        target_per_page: int,
+    ) -> int:
+        """BEGIN + destination allocation + the repack moves (RX held)."""
+        unit_id = self._next_unit_id()
+        begin = ReorgBeginRecord(
+            unit_id=unit_id,
+            unit_type=ReorgUnitType.COMPACT,
+            base_pages=(base_page,),
+            leaf_pages=tuple(sources),
+            dest_page=dests[0],
+            dest_pages=tuple(dests),
+        )
+        self._log_unit(begin)
+        self._multi_move_phase(unit_id, sources, dests, target_per_page)
+        return unit_id
+
+    def complete_compact_multi(
+        self,
+        unit_id: int,
+        base_page: PageId,
+        sources: list[PageId],
+        dests: list[PageId],
+    ) -> UnitResult:
+        """Base MODIFYs (X held), side pointers, frees, END."""
+        self._multi_finish_phase(unit_id, base_page, sources, dests)
+        largest = self._largest_key_of_any(dests)
+        moved = sum(
+            self.store.get_leaf(d).num_items
+            for d in dests
+            if not self.store.free_map.is_free(d)
+        )
+        self._log_unit(ReorgEndRecord(unit_id=unit_id, largest_key=largest))
+        return UnitResult(
+            unit_id, ReorgUnitType.COMPACT, dests[0], tuple(sources),
+            largest, moved,
+        )
+
+    def _execute_compact_multi(
+        self,
+        unit_id: int,
+        base_page: PageId,
+        sources: list[PageId],
+        dests: list[PageId],
+        target_per_page: int,
+    ) -> None:
+        """Idempotent body of a multi-output unit (forward recovery)."""
+        self._multi_move_phase(unit_id, sources, dests, target_per_page)
+        self._multi_finish_phase(unit_id, base_page, sources, dests)
+
+    def _multi_move_phase(
+        self,
+        unit_id: int,
+        sources: list[PageId],
+        dests: list[PageId],
+        target_per_page: int,
+    ) -> None:
+        for dest in dests:
+            self._materialize_dest(dest)
+        # Repack: walk the sources in key order, filling the dest frontier
+        # to the target.  On recovery re-entry, already-drained sources are
+        # skipped and partially-filled dests resume at their frontier.
+        frontier = 0
+        for dest in dests:
+            filled = self.store.get_leaf(dest).num_items
+            if filled >= target_per_page:
+                frontier += 1
+        pending = [
+            s for s in sources
+            if not self.store.free_map.is_free(s)
+            and self.store.get_leaf(s).num_items > 0
+        ]
+        pending.sort(key=lambda pid: self.store.get_leaf(pid).min_key())
+        for source in pending:
+            while self.store.get_leaf(source).num_items > 0:
+                if frontier >= len(dests):
+                    raise ReorgError(
+                        f"unit {unit_id}: destinations full with records left"
+                    )
+                dest = dests[frontier]
+                room = target_per_page - self.store.get_leaf(dest).num_items
+                if room <= 0:
+                    frontier += 1
+                    continue
+                keys = tuple(
+                    r.key
+                    for r in self.store.get_leaf(source).records[:room]
+                )
+                self._move_some_records(unit_id, source, dest, keys)
+    def _multi_finish_phase(
+        self,
+        unit_id: int,
+        base_page: PageId,
+        sources: list[PageId],
+        dests: list[PageId],
+    ) -> None:
+        self._fix_base_multi(unit_id, base_page, sources, dests)
+        self._fix_side_pointers_around(*dests)
+        for source in sources:
+            if self.store.free_map.is_free(source):
+                continue
+            leaf = self.store.get_leaf(source)
+            if leaf.num_items == 0:
+                self._log_structural(FreeRecord(page_id=source))
+                self.store.deallocate(source)
+
+    def _move_some_records(
+        self, unit_id: int, source: PageId, dest: PageId, keys: tuple[int, ...]
+    ) -> None:
+        """A MOVE pair for a key subset of the source page."""
+        source_leaf = self.store.get_leaf(source)
+        records = tuple(source_leaf.get(k) for k in keys)
+        careful = self.store.buffer.careful_writing
+        if careful:
+            self.store.buffer.add_write_dependency(source=source, dest=dest)
+        out = ReorgMoveOutRecord(
+            unit_id=unit_id, org_page=source, dest_page=dest,
+            keys=keys, records=() if careful else records,
+        )
+        self._log_unit(out)
+        apply_record(self.store, out, stash=self._stash)
+        into = ReorgMoveInRecord(
+            unit_id=unit_id, org_page=source, dest_page=dest,
+            keys=keys, records=() if careful else records,
+            move_out_lsn=out.lsn,
+        )
+        self._log_unit(into)
+        apply_record(self.store, into, stash=self._stash)
+
+    def _fix_base_multi(
+        self,
+        unit_id: int,
+        base_page: PageId,
+        sources: list[PageId],
+        dests: list[PageId],
+    ) -> None:
+        base = self.store.get_internal(base_page)
+        for source in sources:
+            index = base.index_of_child(source)
+            if index < 0:
+                continue
+            org_key = base.entries[index][0]
+            modify = ReorgModifyRecord(
+                unit_id=unit_id, base_page=base_page,
+                org_key=org_key, org_child=source,
+                new_key=0, new_child=-1,
+            )
+            self._log_unit(modify)
+            apply_record(self.store, modify)
+        for dest in dests:
+            leaf = self.store.get_leaf(dest)
+            if leaf.is_empty:
+                continue  # an over-provisioned dest; freed below by caller
+            if base.index_of_child(dest) >= 0:
+                continue
+            modify = ReorgModifyRecord(
+                unit_id=unit_id, base_page=base_page,
+                org_key=0, org_child=-1,
+                new_key=leaf.min_key(), new_child=dest,
+            )
+            self._log_unit(modify)
+            apply_record(self.store, modify)
+        # Return any dest that ended up unused (recovery oddities).
+        for dest in dests:
+            if self.store.free_map.is_free(dest):
+                continue
+            leaf = self.store.get_leaf(dest)
+            if leaf.is_empty and base.index_of_child(dest) < 0:
+                self._log_structural(FreeRecord(page_id=dest))
+                self.store.deallocate(dest)
+
+    def move_unit(self, base_page: PageId, source: PageId, dest: PageId) -> UnitResult:
+        """Move one leaf into an empty page (pass-2 Moving, section 6)."""
+        unit_id = self.begin_compact(
+            base_page, [source], dest, dest_is_new=True,
+            unit_type=ReorgUnitType.MOVE,
+        )
+        return self.complete_compact(
+            unit_id, base_page, [source], dest, dest_is_new=True
+        )
+
+    def _execute_compact(
+        self,
+        unit_id: int,
+        base_page: PageId,
+        sources: list[PageId],
+        dest: PageId,
+        dest_is_new: bool,
+    ) -> None:
+        """The idempotent body shared by fresh execution and forward
+        recovery: make ``dest`` hold every record of ``sources``, fix the
+        base page, the side pointers, and free the emptied sources."""
+        self._move_phase(unit_id, sources, dest, dest_is_new)
+        self._finish_phase(unit_id, base_page, sources, dest, dest_is_new)
+
+    def _move_phase(
+        self,
+        unit_id: int,
+        sources: list[PageId],
+        dest: PageId,
+        dest_is_new: bool,
+    ) -> None:
+        """Allocate a new dest if needed and move every record into it."""
+        if dest_is_new:
+            self._materialize_dest(dest)
+
+        # Move records source by source, in key order (the engine's caller
+        # supplies sources in key order; re-sorting by min key keeps the
+        # extend()-style appends valid even on recovery re-entry).
+        pending = [
+            s
+            for s in sources
+            if s != dest
+            and not self.store.free_map.is_free(s)
+            and self.store.get_leaf(s).num_items > 0
+        ]
+        pending.sort(
+            key=lambda pid: self.store.get_leaf(pid).min_key()
+        )
+        for source in pending:
+            self._move_records(unit_id, source, dest)
+
+    def _finish_phase(
+        self,
+        unit_id: int,
+        base_page: PageId,
+        sources: list[PageId],
+        dest: PageId,
+        dest_is_new: bool,
+    ) -> None:
+        """Post the moves in the base page, fix pointers, free sources."""
+        self._fix_base_after_compact(unit_id, base_page, sources, dest, dest_is_new)
+        self._fix_side_pointers_around(dest)
+        for source in sources:
+            if source == dest or self.store.free_map.is_free(source):
+                continue
+            leaf = self.store.get_leaf(source)
+            if leaf.num_items == 0:
+                self._log_structural(FreeRecord(page_id=source))
+                self.store.deallocate(source)
+
+    def _materialize_dest(self, dest: PageId) -> None:
+        """Ensure a new-place destination page exists and is formatted.
+
+        Idempotent across every crash window: the page may be (a) still
+        free (fresh run, or its Alloc record never reached the stable log),
+        (b) allocated by redo of the Alloc record but never formatted (the
+        crash fell between Alloc and Format), or (c) fully present.
+        """
+        if self.store.free_map.is_free(dest):
+            self.store.free_map.allocate(
+                self.store.free_map.extent_for(dest), dest
+            )
+            self.store.buffer.put_new(
+                LeafPage(dest, self.store.config.leaf_capacity)
+            )
+            self._log_structural(AllocRecord(page_id=dest, kind="leaf"))
+            self._log_structural(LeafFormatRecord(page_id=dest, records=()))
+        elif not (
+            self.store.buffer.contains(dest) or self.store.disk.has_image(dest)
+        ):
+            self.store.buffer.put_new(
+                LeafPage(dest, self.store.config.leaf_capacity)
+            )
+            self._log_structural(LeafFormatRecord(page_id=dest, records=()))
+
+    def _move_records(self, unit_id: int, source: PageId, dest: PageId) -> None:
+        """One MOVE pair: org-page half first, then dest-page half."""
+        source_leaf = self.store.get_leaf(source)
+        records = tuple(source_leaf.records)
+        keys = tuple(r.key for r in records)
+        careful = self.store.buffer.careful_writing
+        if careful:
+            # Source must not reach disk (or be freed) before dest does.
+            self.store.buffer.add_write_dependency(source=source, dest=dest)
+        out = ReorgMoveOutRecord(
+            unit_id=unit_id,
+            org_page=source,
+            dest_page=dest,
+            keys=keys,
+            records=() if careful else records,
+        )
+        self._log_unit(out)
+        apply_record(self.store, out, stash=self._stash)
+        into = ReorgMoveInRecord(
+            unit_id=unit_id,
+            org_page=source,
+            dest_page=dest,
+            keys=keys,
+            records=() if careful else records,
+            move_out_lsn=out.lsn,
+        )
+        self._log_unit(into)
+        apply_record(self.store, into, stash=self._stash)
+
+    def _fix_base_after_compact(
+        self,
+        unit_id: int,
+        base_page: PageId,
+        sources: list[PageId],
+        dest: PageId,
+        dest_is_new: bool,
+    ) -> None:
+        base = self.store.get_internal(base_page)
+        dest_leaf = self.store.get_leaf(dest)
+        new_key = dest_leaf.min_key()
+        # Remove entries of compacted-away sources.
+        for source in sources:
+            if source == dest:
+                continue
+            index = base.index_of_child(source)
+            if index < 0:
+                continue  # already removed (recovery re-entry)
+            org_key = base.entries[index][0]
+            modify = ReorgModifyRecord(
+                unit_id=unit_id,
+                base_page=base_page,
+                org_key=org_key,
+                org_child=source,
+                new_key=0,
+                new_child=-1,
+            )
+            self._log_unit(modify)
+            apply_record(self.store, modify)
+        # Point the base at dest under the right key.
+        index = base.index_of_child(dest)
+        if index < 0:
+            modify = ReorgModifyRecord(
+                unit_id=unit_id,
+                base_page=base_page,
+                org_key=0,
+                org_child=-1,
+                new_key=new_key,
+                new_child=dest,
+            )
+            self._log_unit(modify)
+            apply_record(self.store, modify)
+        else:
+            org_key = base.entries[index][0]
+            if org_key != new_key:
+                modify = ReorgModifyRecord(
+                    unit_id=unit_id,
+                    base_page=base_page,
+                    org_key=org_key,
+                    org_child=dest,
+                    new_key=new_key,
+                    new_child=dest,
+                )
+                self._log_unit(modify)
+                apply_record(self.store, modify)
+
+    # -- side pointers ----------------------------------------------------------
+
+    def _fix_side_pointers_around(self, *leaves: PageId) -> None:
+        """Recompute side pointers of ``leaves`` and their key-order
+        neighbours from the (already corrected) tree structure.
+
+        Computing from the post-MODIFY tree makes the fix idempotent: on
+        forward-recovery re-entry the chain positions are derived from base
+        pages, never from possibly half-updated pointers.  Only pages whose
+        pointers actually change are logged — exactly the extra pages the
+        reorganizer must lock for side-pointer maintenance (section 4.3).
+        """
+        kind = self.tree.side_pointers
+        if kind is SidePointerKind.NONE:
+            return
+        two_way = kind is SidePointerKind.TWO_WAY
+        chain = self.tree.leaf_ids_in_key_order()
+        position = {pid: i for i, pid in enumerate(chain)}
+        affected: set[PageId] = set()
+        for pid in leaves:
+            i = position.get(pid)
+            if i is None:
+                continue
+            affected.add(pid)
+            if i > 0:
+                affected.add(chain[i - 1])
+            if i + 1 < len(chain):
+                affected.add(chain[i + 1])
+        for pid in sorted(affected):
+            i = position[pid]
+            next_leaf = chain[i + 1] if i + 1 < len(chain) else NO_PAGE
+            prev_leaf = chain[i - 1] if (two_way and i > 0) else NO_PAGE
+            self._set_pointers(pid, next_leaf=next_leaf, prev_leaf=prev_leaf)
+
+    def _set_pointers(self, page_id: PageId, *, next_leaf: PageId, prev_leaf: PageId) -> None:
+        leaf = self.store.get_leaf(page_id)
+        if leaf.next_leaf == next_leaf and leaf.prev_leaf == prev_leaf:
+            return
+        self._log_structural(
+            SidePointerRecord(
+                page_id=page_id, next_leaf=next_leaf, prev_leaf=prev_leaf
+            )
+        )
+
+    # -- swap units ---------------------------------------------------------------
+
+    def swap_unit(
+        self,
+        base_a: PageId,
+        leaf_a: PageId,
+        base_b: PageId,
+        leaf_b: PageId,
+    ) -> UnitResult:
+        """Swap the contents of two leaves (pass 2, sections 4.1 and 6).
+
+        "Swapping two leaf pages under one or two base pages."
+        """
+        unit_id = self.begin_swap(base_a, leaf_a, base_b, leaf_b)
+        return self.complete_swap(unit_id, base_a, leaf_a, base_b, leaf_b)
+
+    def begin_swap(
+        self, base_a: PageId, leaf_a: PageId, base_b: PageId, leaf_b: PageId
+    ) -> int:
+        """BEGIN plus the content exchange (held under RX on both leaves)."""
+        if leaf_a == leaf_b:
+            raise ReorgError("cannot swap a leaf with itself")
+        unit_id = self._next_unit_id()
+        bases = (base_a, base_b) if base_a != base_b else (base_a,)
+        begin = ReorgBeginRecord(
+            unit_id=unit_id,
+            unit_type=ReorgUnitType.SWAP,
+            base_pages=bases,
+            leaf_pages=(leaf_a, leaf_b),
+            dest_page=leaf_a,
+        )
+        self._log_unit(begin)
+        self._swap_contents(unit_id, leaf_a, leaf_b)
+        return unit_id
+
+    def complete_swap(
+        self, unit_id: int, base_a: PageId, leaf_a: PageId,
+        base_b: PageId, leaf_b: PageId,
+    ) -> UnitResult:
+        """Base MODIFYs (under X on both parents), side pointers, END."""
+        self._fix_bases_after_swap(unit_id, base_a, leaf_a, base_b, leaf_b)
+        self._fix_side_pointers_around(leaf_a, leaf_b)
+        largest = max(
+            self._largest_key_of(leaf_a), self._largest_key_of(leaf_b)
+        )
+        self._log_unit(ReorgEndRecord(unit_id=unit_id, largest_key=largest))
+        return UnitResult(
+            unit_id,
+            ReorgUnitType.SWAP,
+            leaf_a,
+            (),
+            largest,
+            self.store.get_leaf(leaf_a).num_items
+            + self.store.get_leaf(leaf_b).num_items,
+        )
+
+    def _execute_swap(
+        self,
+        unit_id: int,
+        base_a: PageId,
+        leaf_a: PageId,
+        base_b: PageId,
+        leaf_b: PageId,
+        *,
+        already_swapped: bool = False,
+    ) -> None:
+        if not already_swapped:
+            self._swap_contents(unit_id, leaf_a, leaf_b)
+        self._fix_bases_after_swap(unit_id, base_a, leaf_a, base_b, leaf_b)
+        self._fix_side_pointers_around(leaf_a, leaf_b)
+
+    def _swap_contents(self, unit_id: int, leaf_a: PageId, leaf_b: PageId) -> None:
+        page_a = self.store.get_leaf(leaf_a)
+        page_b = self.store.get_leaf(leaf_b)
+        careful = self.store.buffer.careful_writing
+        if careful:
+            # A must be durable before B may be written: makes the
+            # keys-only B side of the swap record redoable.
+            self.store.buffer.add_write_dependency(source=leaf_b, dest=leaf_a)
+        swap = ReorgSwapRecord(
+            unit_id=unit_id,
+            page_a=leaf_a,
+            page_b=leaf_b,
+            records_a=tuple(page_a.records),
+            keys_b=tuple(page_b.keys()),
+            records_b=() if careful else tuple(page_b.records),
+        )
+        self._log_unit(swap)
+        apply_record(self.store, swap)
+
+    def _fix_bases_after_swap(
+        self,
+        unit_id: int,
+        base_a: PageId,
+        leaf_a: PageId,
+        base_b: PageId,
+        leaf_b: PageId,
+    ) -> None:
+        """MODIFY the base entries after a swap by exchanging the *child
+        pointers* (the slot keys keep describing the same key ranges; the
+        leaves holding those ranges exchanged identities).
+
+        "Swapping ... update both their parents to reflect the change"
+        (section 4.1).  Exchanging pointers rather than keys avoids a
+        transient duplicate-separator state when both leaves share one base
+        page, and makes each MODIFY independently idempotent: a slot is
+        fixed exactly when its child's minimum key lies in the slot's
+        range.
+        """
+        for base_id in dict.fromkeys((base_a, base_b)):
+            base = self.store.get_internal(base_id)
+            for slot, (slot_key, child) in enumerate(base.entries):
+                if child not in (leaf_a, leaf_b):
+                    continue
+                correct = self._correct_child_for_slot(
+                    base_id, slot, (leaf_a, leaf_b)
+                )
+                if correct == child:
+                    continue
+                modify = ReorgModifyRecord(
+                    unit_id=unit_id,
+                    base_page=base_id,
+                    org_key=slot_key,
+                    org_child=child,
+                    new_key=slot_key,
+                    new_child=correct,
+                )
+                self._log_unit(modify)
+                apply_record(self.store, modify)
+
+    def _correct_child_for_slot(
+        self, base_id: PageId, slot: int, candidates: tuple[PageId, PageId]
+    ) -> PageId:
+        """Which of the two swapped leaves belongs in the base slot: the
+        one whose records fall inside the slot's key range."""
+        base = self.store.get_internal(base_id)
+        entries = base.entries
+        low = entries[slot][0]
+        high = entries[slot + 1][0] if slot + 1 < len(entries) else None
+        fitting: list[tuple[int, PageId]] = []
+        for pid in candidates:
+            leaf = self.store.get_leaf(pid)
+            if leaf.is_empty:
+                continue
+            if leaf.min_key() >= low and (high is None or leaf.min_key() < high):
+                fitting.append((leaf.min_key(), pid))
+        if not fitting:
+            raise ReorgError(
+                f"neither swapped leaf fits base {base_id} slot {slot}"
+            )
+        # When the slot is the last of its base page (high unbounded) both
+        # leaves may "fit"; the slot's true range starts at ``low``, so the
+        # leaf with the smaller minimum key is the one that belongs here.
+        return min(fitting)[1]
+
+    # -- forward recovery & undo ---------------------------------------------------
+
+    def finish_unit(self, pending: PendingReorgUnit) -> UnitResult:
+        """Forward recovery: complete an interrupted unit from page state.
+
+        All sub-steps of unit execution are idempotent (they test current
+        state before acting), so re-running the remainder after redo has
+        installed the logged prefix completes the unit exactly once.
+        """
+        self.resume_unit_ids_after(pending.unit_id)
+        unit_id = pending.unit_id
+        dest_pages = pending.dest_pages or (pending.dest_page,)
+        if (
+            pending.unit_type is ReorgUnitType.COMPACT
+            and len(dest_pages) > 1
+        ):
+            # Multi-output unit: the repack target is recoverable from the
+            # fullest destination (every dest but the last is filled to it).
+            filled = [
+                self.store.get_leaf(d).num_items
+                for d in dest_pages
+                if not self.store.free_map.is_free(d)
+                and (self.store.buffer.contains(d) or self.store.disk.has_image(d))
+            ]
+            remaining = sum(
+                self.store.get_leaf(s).num_items
+                for s in pending.leaf_pages
+                if not self.store.free_map.is_free(s)
+            )
+            total = sum(filled) + remaining
+            # The exact pre-crash target is unrecoverable in general; any
+            # target >= max(filled) that fits the total preserves every
+            # record (per-page fill may differ by a record or two from the
+            # uncrashed run, which the paper's average-d framing allows).
+            target = max(
+                max(filled, default=1),
+                -(-total // len(dest_pages)),  # ceil division
+                1,
+            )
+            self._execute_compact_multi(
+                unit_id, pending.base_pages[0], list(pending.leaf_pages),
+                list(dest_pages), target,
+            )
+            largest = self._largest_key_of_any(dest_pages)
+            self._log_unit(ReorgEndRecord(unit_id=unit_id, largest_key=largest))
+            return UnitResult(
+                unit_id, pending.unit_type, dest_pages[0],
+                tuple(pending.leaf_pages), largest, 0,
+            )
+        if pending.unit_type in (ReorgUnitType.COMPACT, ReorgUnitType.MOVE):
+            dest = pending.dest_page
+            dest_is_new = dest not in pending.leaf_pages
+            self._execute_compact(
+                unit_id, pending.base_pages[0], list(pending.leaf_pages), dest,
+                dest_is_new,
+            )
+            largest = self._largest_key_of(dest)
+            moved = self.store.get_leaf(dest).num_items
+            self._log_unit(ReorgEndRecord(unit_id=unit_id, largest_key=largest))
+            freed = tuple(p for p in pending.leaf_pages if p != dest)
+            return UnitResult(
+                unit_id, pending.unit_type, dest, freed, largest, moved
+            )
+        if pending.unit_type is ReorgUnitType.SWAP:
+            leaf_a, leaf_b = pending.leaf_pages
+            already = any(
+                isinstance(r, ReorgSwapRecord) for r in pending.records
+            )
+            base_a = pending.base_pages[0]
+            base_b = pending.base_pages[-1]
+            self._execute_swap(
+                unit_id, base_a, leaf_a, base_b, leaf_b, already_swapped=already
+            )
+            largest = max(
+                self._largest_key_of(leaf_a), self._largest_key_of(leaf_b)
+            )
+            self._log_unit(ReorgEndRecord(unit_id=unit_id, largest_key=largest))
+            return UnitResult(
+                unit_id, ReorgUnitType.SWAP, leaf_a, (), largest, 0
+            )
+        raise ReorgError(f"unknown unit type {pending.unit_type!r}")
+
+    def rollback_unit(self, pending: PendingReorgUnit) -> bool:
+        """Roll an interrupted unit *back* — the [Smi90] baseline's policy.
+
+        The paper's comparison point: "[Smi90] treats each leaf page
+        operation as a database transaction, so it is rolled back if
+        interrupted."  Inverts the unit's logged actions in reverse order.
+        Returns True if the unit was rolled back; False when it had already
+        freed source pages (past its effective commit point), in which case
+        it is completed forward instead.
+        """
+        from repro.wal.progress import NO_KEY_YET
+
+        freed_any = any(
+            leaf != pending.dest_page and self.store.free_map.is_free(leaf)
+            for leaf in pending.leaf_pages
+        )
+        if freed_any:
+            self.finish_unit(pending)
+            return False
+        self.resume_unit_ids_after(pending.unit_id)
+        unit_id = pending.unit_id
+        for record in reversed(pending.records):
+            if isinstance(record, ReorgMoveInRecord):
+                dest_leaf = self.store.get_leaf(record.dest_page)
+                present = [k for k in record.keys if dest_leaf.contains(k)]
+                if present:
+                    self._move_back(
+                        unit_id, record.dest_page, record.org_page,
+                        tuple(present),
+                    )
+            elif isinstance(record, ReorgModifyRecord):
+                inverse = ReorgModifyRecord(
+                    unit_id=unit_id,
+                    base_page=record.base_page,
+                    org_key=record.new_key,
+                    org_child=record.new_child,
+                    new_key=record.org_key,
+                    new_child=record.org_child,
+                )
+                self._log_unit(inverse)
+                apply_record(self.store, inverse)
+            elif isinstance(record, ReorgSwapRecord):
+                # A swap is its own inverse.
+                self._swap_contents(unit_id, record.page_a, record.page_b)
+        if pending.dest_page not in pending.leaf_pages:
+            dest = pending.dest_page
+            if not self.store.free_map.is_free(dest):
+                leaf = self.store.get_leaf(dest)
+                if leaf.is_empty:
+                    self._log_structural(FreeRecord(page_id=dest))
+                    self.store.deallocate(dest)
+        # Mark the unit closed in the log without advancing LK.
+        self._log_unit(
+            ReorgEndRecord(unit_id=unit_id, largest_key=NO_KEY_YET)
+        )
+        return True
+
+    def undo_unit(self, unit_id: int) -> None:
+        """Undo at deadlock (section 5.2): move records back where the
+        prev-LSN chain says they came from, then clear the progress entry.
+
+        Only MOVE halves need inverting — a deadlock can only strike before
+        the base page was X-locked, hence before any MODIFY was logged.
+        """
+        cursor = self.db.progress.recent_lsn_of(unit_id)
+        inversions: list[tuple[PageId, PageId, tuple[int, ...]]] = []
+        begin: ReorgBeginRecord | None = None
+        while cursor > 0:
+            record = self.log.get(cursor)
+            if isinstance(record, ReorgMoveInRecord):
+                inversions.append(
+                    (record.dest_page, record.org_page, record.keys)
+                )
+            if isinstance(record, ReorgBeginRecord):
+                begin = record
+                break
+            cursor = record.prev_lsn
+        for dest, org, keys in inversions:
+            self._move_back(unit_id, dest, org, keys)
+        # A new-place unit may have allocated a fresh dest page before the
+        # deadlock; once drained it is returned to the free pool.
+        if begin is not None and begin.dest_page not in begin.leaf_pages:
+            dest = begin.dest_page
+            if not self.store.free_map.is_free(dest):
+                leaf = self.store.get_leaf(dest)
+                if leaf.is_empty:
+                    self._log_structural(FreeRecord(page_id=dest))
+                    self.store.deallocate(dest)
+        self.db.progress.unit_aborted(unit_id=unit_id)
+
+    def _move_back(
+        self, unit_id: int, from_page: PageId, to_page: PageId, keys: tuple[int, ...]
+    ) -> None:
+        """Reverse one MOVE pair during undo-at-deadlock.
+
+        Full record contents are always logged: a keys-only reverse move
+        would need a write-before edge opposite to the forward move's edge
+        — a dependency cycle.  With contents logged, the forward edge is
+        cancelled instead: after the undo, neither write order loses data.
+        """
+        source_leaf = self.store.get_leaf(from_page)
+        records = tuple(source_leaf.get(k) for k in keys if source_leaf.contains(k))
+        keys = tuple(r.key for r in records)
+        if not records:
+            return
+        self.store.buffer.remove_write_dependency(source=to_page, dest=from_page)
+        out = ReorgMoveOutRecord(
+            unit_id=unit_id,
+            org_page=from_page,
+            dest_page=to_page,
+            keys=keys,
+            records=records,
+        )
+        self._log_unit(out)
+        apply_record(self.store, out, stash=self._stash)
+        into = ReorgMoveInRecord(
+            unit_id=unit_id,
+            org_page=from_page,
+            dest_page=to_page,
+            keys=keys,
+            records=records,
+            move_out_lsn=out.lsn,
+        )
+        self._log_unit(into)
+        apply_record(self.store, into, stash=self._stash)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _largest_key_of(self, page_id: PageId) -> int:
+        leaf = self.store.get_leaf(page_id)
+        return leaf.max_key() if not leaf.is_empty else 0
+
+    def _largest_key_of_any(self, page_ids) -> int:
+        keys = [
+            self._largest_key_of(pid)
+            for pid in page_ids
+            if not self.store.free_map.is_free(pid)
+        ]
+        return max(keys, default=0)

@@ -1,0 +1,39 @@
+"""Simulation: workloads, crash injection, concurrency driver, metrics."""
+
+from repro.sim.checkpointer import checkpointer
+from repro.sim.crash import (
+    CrashRunResult,
+    LogCrashInjector,
+    count_completed_units,
+    crash_recover,
+    run_reorg_with_crash,
+)
+from repro.sim.driver import ExperimentSetup, prepare_database, run_concurrent_experiment
+from repro.sim.metrics import RunMetrics, collect_metrics
+from repro.sim.workload import (
+    KeyPicker,
+    PlannedTxn,
+    WorkloadConfig,
+    build_sparse_tree,
+    plan_workload,
+    transaction_generator,
+)
+
+__all__ = [
+    "CrashRunResult",
+    "ExperimentSetup",
+    "KeyPicker",
+    "LogCrashInjector",
+    "PlannedTxn",
+    "RunMetrics",
+    "WorkloadConfig",
+    "build_sparse_tree",
+    "checkpointer",
+    "collect_metrics",
+    "count_completed_units",
+    "crash_recover",
+    "plan_workload",
+    "prepare_database",
+    "run_concurrent_experiment",
+    "run_reorg_with_crash",
+]

@@ -1,0 +1,119 @@
+"""Simulation driver: user transactions concurrent with a reorganizer.
+
+Runs one experiment cell of E2: a planned workload of readers/updaters
+interleaved (on the deterministic scheduler) with a background
+reorganization — either the paper's protocol or the Smith-style baseline —
+and returns the aggregated :class:`~repro.sim.metrics.RunMetrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ReorgConfig, TreeConfig
+from repro.db import Database
+from repro.reorg.protocols import ReorgProtocol, full_reorganization
+from repro.sim.metrics import RunMetrics, collect_metrics
+from repro.sim.workload import (
+    WorkloadConfig,
+    build_sparse_tree,
+    plan_workload,
+    transaction_generator,
+)
+from repro.txn.scheduler import Scheduler
+from repro.txn.transaction import Transaction
+
+
+@dataclass
+class ExperimentSetup:
+    """Everything one concurrency run needs."""
+
+    tree_config: TreeConfig
+    reorg_config: ReorgConfig
+    workload: WorkloadConfig
+    n_records: int = 2000
+    fill_after: float = 0.3
+    io_time: float = 0.2
+    hit_time: float = 0.01
+    reorg_start: float = 0.0
+    unit_pause: float = 0.05
+    scan_pause: float = 0.02
+    #: Time each unit's record movement takes (RX locks held); the Smith
+    #: baseline uses the same value for its whole-file-locked operations.
+    op_duration: float = 0.3
+
+
+def prepare_database(setup: ExperimentSetup) -> Database:
+    db = Database(setup.tree_config)
+    build_sparse_tree(
+        db,
+        n_records=setup.n_records,
+        fill_after=setup.fill_after,
+        seed=setup.workload.seed,
+    )
+    db.flush()
+    db.checkpoint()
+    return db
+
+
+def run_concurrent_experiment(
+    setup: ExperimentSetup,
+    *,
+    reorganizer: str = "paper",
+    tree_name: str = "primary",
+) -> tuple[Database, RunMetrics]:
+    """Run workload + reorganizer; ``reorganizer`` is "paper", "smith90"
+    or "none" (workload alone, the contention-free baseline)."""
+    db = prepare_database(setup)
+    scheduler = Scheduler(
+        db.locks,
+        store=db.store,
+        log=db.log,
+        io_time=setup.io_time,
+        hit_time=setup.hit_time,
+    )
+    reorg_txn: Transaction | None = None
+    if reorganizer == "paper":
+        protocol = ReorgProtocol(
+            db,
+            tree_name,
+            setup.reorg_config,
+            unit_pause=setup.unit_pause,
+            scan_pause=setup.scan_pause,
+            op_duration=setup.op_duration,
+        )
+        protocol.abort_hook = lambda victims: [
+            scheduler.abort_transaction(v, "old-tree drain timeout")
+            for v in victims
+        ]
+        reorg_txn = scheduler.spawn(
+            full_reorganization(protocol),
+            name="reorganizer",
+            at=setup.reorg_start,
+            is_reorganizer=True,
+        )
+    elif reorganizer == "smith90":
+        from repro.baseline.smith90 import Smith90Protocol
+
+        protocol = Smith90Protocol(
+            db, tree_name, setup.reorg_config,
+            op_pause=setup.unit_pause, op_duration=setup.op_duration,
+        )
+        reorg_txn = scheduler.spawn(
+            protocol.run(),
+            name="smith90-reorganizer",
+            at=setup.reorg_start,
+            is_reorganizer=True,
+        )
+    elif reorganizer != "none":
+        raise ValueError(f"unknown reorganizer {reorganizer!r}")
+
+    for index, plan in enumerate(plan_workload(setup.workload)):
+        scheduler.spawn(
+            transaction_generator(db, tree_name, plan, setup.workload.think),
+            name=f"{plan.kind}-{index}",
+            at=plan.arrival,
+        )
+    scheduler.run()
+    metrics = collect_metrics(scheduler, reorg_txn=reorg_txn)
+    return db, metrics

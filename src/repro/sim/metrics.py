@@ -1,0 +1,97 @@
+"""Aggregated metrics over a finished simulation run.
+
+Collects per-transaction scheduler data into the figures benchmark E2
+reports: wait times, block counts, RX back-offs, abort counts, throughput,
+and the reorganizer's own duration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.txn.scheduler import Scheduler
+from repro.txn.transaction import Transaction
+
+
+def _percentile(values: list[float], fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, max(0, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[index]
+
+
+@dataclass
+class RunMetrics:
+    """Summary of one simulation run's user transactions."""
+
+    user_txns: int = 0
+    completed: int = 0
+    aborted: int = 0
+    blocked_txns: int = 0
+    total_blocks: int = 0
+    rx_backoffs: int = 0
+    deadlock_victims: int = 0
+    mean_wait: float = 0.0
+    p95_wait: float = 0.0
+    max_wait: float = 0.0
+    mean_latency: float = 0.0
+    p95_latency: float = 0.0
+    makespan: float = 0.0
+    #: Completed user transactions per unit simulated time.
+    throughput: float = 0.0
+    reorg_elapsed: float = 0.0
+    reorg_result: dict | None = None
+
+
+def collect_metrics(
+    scheduler: Scheduler,
+    *,
+    reorg_txn: Transaction | None = None,
+) -> RunMetrics:
+    """Summarize a finished scheduler run.
+
+    ``reorg_txn`` (if given) is excluded from the user-transaction figures
+    and reported separately.
+    """
+    metrics = RunMetrics()
+    waits: list[float] = []
+    latencies: list[float] = []
+
+    def is_user(txn: Transaction) -> bool:
+        return reorg_txn is None or txn is not reorg_txn
+
+    for txn, result in scheduler.completed:
+        if not is_user(txn):
+            metrics.reorg_elapsed = txn.metrics.elapsed
+            metrics.reorg_result = result if isinstance(result, dict) else None
+            continue
+        metrics.user_txns += 1
+        metrics.completed += 1
+        waits.append(txn.metrics.wait_time)
+        latencies.append(txn.metrics.elapsed)
+        metrics.total_blocks += txn.metrics.blocks
+        metrics.rx_backoffs += txn.metrics.rx_backoffs
+        if txn.metrics.blocks or txn.metrics.rx_backoffs:
+            metrics.blocked_txns += 1
+    for txn, _exc in scheduler.failed:
+        if not is_user(txn):
+            continue
+        metrics.user_txns += 1
+        metrics.aborted += 1
+        metrics.deadlock_victims += txn.metrics.deadlocks
+        metrics.total_blocks += txn.metrics.blocks
+        metrics.rx_backoffs += txn.metrics.rx_backoffs
+
+    metrics.mean_wait = sum(waits) / len(waits) if waits else 0.0
+    metrics.p95_wait = _percentile(waits, 0.95)
+    metrics.max_wait = max(waits, default=0.0)
+    metrics.mean_latency = (
+        sum(latencies) / len(latencies) if latencies else 0.0
+    )
+    metrics.p95_latency = _percentile(latencies, 0.95)
+    metrics.makespan = scheduler.now
+    if scheduler.now > 0:
+        metrics.throughput = metrics.completed / scheduler.now
+    return metrics

@@ -1,0 +1,187 @@
+"""Workload generation: key distributions and user-transaction streams.
+
+Provides the mixes the evaluation needs:
+
+* **sparse-tree builders** — bulk-load full, then delete down to a target
+  fill factor f1 (uniformly or in clustered runs), the paper's setting of
+  "a large portion of many leaf pages is unused";
+* **transaction streams** — reader point lookups, range scans, and updater
+  inserts/deletes over configurable key distributions (uniform or Zipf),
+  with Poisson-like arrivals, for the concurrency experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.btree.protocols import (
+    reader_range_scan,
+    reader_search,
+    updater_delete,
+    updater_insert,
+)
+from repro.db import Database
+from repro.storage.page import Record
+
+
+def build_sparse_tree(
+    db: Database,
+    *,
+    n_records: int,
+    fill_after: float,
+    name: str = "primary",
+    payload: str = "x" * 16,
+    clustered: bool = False,
+    internal_fill: float = 1.0,
+    seed: int = 7,
+):
+    """Bulk-load a full tree, then delete records down to ``fill_after``.
+
+    ``clustered`` deletes contiguous key runs (modelling range deletes),
+    otherwise deletions are uniform (the classic sparse-tree shape).
+    Returns the tree.
+    """
+    if not 0.0 < fill_after <= 1.0:
+        raise ValueError("fill_after must be in (0, 1]")
+    records = [Record(k, payload) for k in range(n_records)]
+    tree = db.bulk_load_tree(
+        records, name=name, leaf_fill=1.0, internal_fill=internal_fill
+    )
+    rng = random.Random(seed)
+    n_delete = int(n_records * (1.0 - fill_after))
+    if clustered:
+        victims: list[int] = []
+        keys = list(range(n_records))
+        run = max(4, n_records // 50)
+        while len(victims) < n_delete:
+            start = rng.randrange(0, n_records - run)
+            for key in range(start, start + run):
+                if tree.search(key) is not None and key not in victims:
+                    victims.append(key)
+                    if len(victims) >= n_delete:
+                        break
+        del keys
+    else:
+        victims = rng.sample(range(n_records), n_delete)
+    for key in victims:
+        if tree.search(key) is not None:
+            tree.delete(key)
+    return tree
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of a concurrent user-transaction stream."""
+
+    n_transactions: int = 100
+    #: Fractions of each kind; must sum to 1.
+    read_fraction: float = 0.6
+    scan_fraction: float = 0.1
+    insert_fraction: float = 0.15
+    delete_fraction: float = 0.15
+    key_space: int = 1000
+    scan_width: int = 50
+    #: Mean inter-arrival time (exponential).
+    mean_interarrival: float = 0.5
+    #: Think time inside each transaction (holding its locks).
+    think: float = 0.1
+    #: Zipf skew (0 = uniform); higher concentrates access on low keys.
+    zipf_theta: float = 0.0
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        total = (
+            self.read_fraction
+            + self.scan_fraction
+            + self.insert_fraction
+            + self.delete_fraction
+        )
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"fractions must sum to 1, got {total}")
+
+
+@dataclass
+class PlannedTxn:
+    """One user transaction's script: kind, key(s), arrival time."""
+
+    kind: str
+    key: int
+    arrival: float
+    high: int = 0
+
+
+class KeyPicker:
+    """Uniform or Zipf-like key selection over [0, key_space)."""
+
+    def __init__(self, key_space: int, theta: float, rng: random.Random):
+        self.key_space = key_space
+        self.theta = theta
+        self.rng = rng
+        if theta > 0:
+            weights = [1.0 / ((rank + 1) ** theta) for rank in range(key_space)]
+            total = sum(weights)
+            self._cdf = []
+            acc = 0.0
+            for weight in weights:
+                acc += weight / total
+                self._cdf.append(acc)
+        else:
+            self._cdf = None
+
+    def pick(self) -> int:
+        if self._cdf is None:
+            return self.rng.randrange(self.key_space)
+        import bisect
+
+        return bisect.bisect_left(self._cdf, self.rng.random())
+
+
+def plan_workload(config: WorkloadConfig) -> list[PlannedTxn]:
+    """Deterministically expand a config into a transaction schedule."""
+    rng = random.Random(config.seed)
+    picker = KeyPicker(config.key_space, config.zipf_theta, rng)
+    plans: list[PlannedTxn] = []
+    clock = 0.0
+    for _ in range(config.n_transactions):
+        clock += rng.expovariate(1.0 / config.mean_interarrival)
+        roll = rng.random()
+        key = picker.pick()
+        if roll < config.read_fraction:
+            kind = "read"
+        elif roll < config.read_fraction + config.scan_fraction:
+            kind = "scan"
+        elif roll < (
+            config.read_fraction
+            + config.scan_fraction
+            + config.insert_fraction
+        ):
+            kind = "insert"
+        else:
+            kind = "delete"
+        plans.append(
+            PlannedTxn(
+                kind=kind,
+                key=key,
+                arrival=clock,
+                high=min(key + config.scan_width, config.key_space - 1),
+            )
+        )
+    return plans
+
+
+def transaction_generator(db: Database, tree_name: str, plan: PlannedTxn, think: float):
+    """Materialize one planned transaction as a protocol generator."""
+    if plan.kind == "read":
+        return reader_search(db, tree_name, plan.key, think=think)
+    if plan.kind == "scan":
+        return reader_range_scan(
+            db, tree_name, plan.key, plan.high, think_per_page=think / 4
+        )
+    if plan.kind == "insert":
+        return updater_insert(
+            db, tree_name, Record(plan.key, "w"), think=think
+        )
+    if plan.kind == "delete":
+        return updater_delete(db, tree_name, plan.key, think=think)
+    raise ValueError(f"unknown transaction kind {plan.kind!r}")

@@ -1,0 +1,33 @@
+"""Storage substrate: pages, simulated disk, allocator, buffer pool."""
+
+from repro.storage.allocator import FreeSpaceMap
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import Extent, IOStats, SimulatedDisk
+from repro.storage.page import (
+    NO_PAGE,
+    InternalPage,
+    LeafPage,
+    Page,
+    PageId,
+    PageKind,
+    Record,
+)
+from repro.storage.store import INTERNAL_EXTENT, LEAF_EXTENT, StorageManager
+
+__all__ = [
+    "BufferPool",
+    "Extent",
+    "FreeSpaceMap",
+    "INTERNAL_EXTENT",
+    "IOStats",
+    "InternalPage",
+    "LEAF_EXTENT",
+    "LeafPage",
+    "NO_PAGE",
+    "Page",
+    "PageId",
+    "PageKind",
+    "Record",
+    "SimulatedDisk",
+    "StorageManager",
+]

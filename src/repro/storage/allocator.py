@@ -1,0 +1,135 @@
+"""Free-space map: page allocation within disk extents.
+
+The paper assumes "there are also some free pages available in the database,
+which are not connected to the B+-tree" (section 2).  The reorganizer's pass
+1 consumes such pages for new-place compaction and its pass 3 allocates
+internal pages for the new upper levels.
+
+The map keeps, per extent, a sorted list of free page ids.  Sorted order is
+what the Find-Free-Space heuristic of section 6.1 needs: *the first empty
+page after the largest finished leaf page id L and before the current leaf
+C*.  :meth:`FreeSpaceMap.first_free_in_range` answers exactly that query in
+O(log n).
+
+Allocation state is considered stable (it survives crashes); the paper logs
+space allocation so that "space which is allocated after the most recent
+force-write log record can be deallocated during recovery" (section 7.3).
+The write-ahead log layer emits those records; recovery reconciles via
+:meth:`free`.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from repro.errors import (
+    ExtentFullError,
+    PageAlreadyFreeError,
+    PageNotAllocatedError,
+    StorageError,
+)
+from repro.storage.disk import Extent, SimulatedDisk
+from repro.storage.page import PageId
+
+
+class FreeSpaceMap:
+    """Tracks which page ids in each extent are free vs. allocated."""
+
+    def __init__(self, disk: SimulatedDisk, extent_names: list[str]):
+        self._disk = disk
+        self._free: dict[str, list[PageId]] = {}
+        self._extents: dict[str, Extent] = {}
+        for name in extent_names:
+            extent = disk.extent(name)
+            self._extents[name] = extent
+            self._free[name] = list(range(extent.start, extent.end))
+
+    # -- queries ------------------------------------------------------------
+
+    def extent_for(self, page_id: PageId) -> str:
+        for name, extent in self._extents.items():
+            if extent.contains(page_id):
+                return name
+        raise StorageError(f"page id {page_id} not in any managed extent")
+
+    def is_free(self, page_id: PageId) -> bool:
+        name = self.extent_for(page_id)
+        free = self._free[name]
+        i = bisect.bisect_left(free, page_id)
+        return i < len(free) and free[i] == page_id
+
+    def free_count(self, extent_name: str) -> int:
+        return len(self._free[extent_name])
+
+    def allocated_count(self, extent_name: str) -> int:
+        return self._extents[extent_name].size - len(self._free[extent_name])
+
+    def free_page_ids(self, extent_name: str) -> list[PageId]:
+        """Sorted free page ids of the extent (copy)."""
+        return list(self._free[extent_name])
+
+    def allocated_page_ids(self, extent_name: str) -> list[PageId]:
+        """Sorted allocated page ids of the extent."""
+        free = set(self._free[extent_name])
+        extent = self._extents[extent_name]
+        return [pid for pid in range(extent.start, extent.end) if pid not in free]
+
+    def first_free_in_range(
+        self, extent_name: str, after: PageId, before: PageId
+    ) -> PageId | None:
+        """Smallest free page id p with ``after < p < before``.
+
+        This is the query behind the paper's empty-page heuristic
+        (section 6.1): ``after`` is L, the largest finished leaf page id,
+        and ``before`` is C, the page being reorganized.
+        """
+        free = self._free[extent_name]
+        i = bisect.bisect_right(free, after)
+        if i < len(free) and free[i] < before:
+            return free[i]
+        return None
+
+    def first_free(self, extent_name: str) -> PageId | None:
+        """Smallest free page id in the extent, or None if full."""
+        free = self._free[extent_name]
+        return free[0] if free else None
+
+    # -- mutations ----------------------------------------------------------
+
+    def allocate(self, extent_name: str, page_id: PageId | None = None) -> PageId:
+        """Allocate a specific free page, or the smallest free one.
+
+        Returns the allocated page id.  Raises :class:`ExtentFullError` when
+        the extent has no free pages, or :class:`PageNotAllocatedError`-style
+        errors for invalid explicit requests.
+        """
+        free = self._free[extent_name]
+        if page_id is None:
+            if not free:
+                raise ExtentFullError(f"extent {extent_name!r} has no free pages")
+            return free.pop(0)
+        i = bisect.bisect_left(free, page_id)
+        if i >= len(free) or free[i] != page_id:
+            raise StorageError(
+                f"page {page_id} is not free in extent {extent_name!r}"
+            )
+        free.pop(i)
+        return page_id
+
+    def free(self, page_id: PageId) -> None:
+        """Return a page to the free pool and erase its stable image."""
+        name = self.extent_for(page_id)
+        free = self._free[name]
+        i = bisect.bisect_left(free, page_id)
+        if i < len(free) and free[i] == page_id:
+            raise PageAlreadyFreeError(f"page {page_id} is already free")
+        free.insert(i, page_id)
+        self._disk.erase(page_id)
+
+    def mark_allocated(self, page_id: PageId) -> None:
+        """Force a page into the allocated state (recovery bootstrap)."""
+        name = self.extent_for(page_id)
+        free = self._free[name]
+        i = bisect.bisect_left(free, page_id)
+        if i < len(free) and free[i] == page_id:
+            free.pop(i)

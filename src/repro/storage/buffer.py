@@ -1,0 +1,287 @@
+"""Buffer pool with WAL and careful-writing enforcement.
+
+The buffer pool caches mutable :class:`~repro.storage.page.Page` objects in
+front of the :class:`~repro.storage.disk.SimulatedDisk`.  It enforces two
+write-ordering disciplines the paper depends on:
+
+* **Write-ahead logging** (section 5): a dirty page may not reach disk until
+  the log records that dirtied it are flushed.  The pool calls
+  ``wal.flush(up_to_lsn)`` before any page write.
+
+* **Careful writing** (section 5, citing [LT95]): when records are copied
+  from a source page to a destination page, the *source* "cannot be written
+  to disk until the new page is written to disk", and a page to be
+  deallocated "cannot be deallocated until the new page where its contents
+  was copied is on disk".  :meth:`BufferPool.add_write_dependency` records a
+  *dest-before-source* edge; flushing the source first flushes its pending
+  destinations (recursively).  This is what lets MOVE log records carry keys
+  only instead of full record contents.
+
+Eviction is LRU over unpinned frames.  Evicting a dirty frame performs a
+(dependency- and WAL-respecting) write first, so callers never observe lost
+updates.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Protocol
+
+from repro.errors import (
+    BufferPoolError,
+    CarefulWriteViolation,
+    PagePinnedError,
+)
+from repro.storage.disk import SimulatedDisk
+from repro.storage.page import Page, PageId
+
+
+class WALHook(Protocol):
+    """The slice of the log manager the buffer pool needs."""
+
+    def flush(self, up_to_lsn: int) -> None:
+        """Make all log records with LSN <= ``up_to_lsn`` stable."""
+
+    @property
+    def flushed_lsn(self) -> int:
+        """Largest LSN known to be stable."""
+
+
+class _NullWAL:
+    """Default hook for tests that exercise the pool without a log."""
+
+    flushed_lsn = 0
+
+    def flush(self, up_to_lsn: int) -> None:  # noqa: D102 - trivial
+        pass
+
+
+class _Frame:
+    __slots__ = ("page", "dirty", "pins")
+
+    def __init__(self, page: Page):
+        self.page = page
+        self.dirty = False
+        self.pins = 0
+
+
+class BufferPool:
+    """LRU page cache enforcing WAL and careful-writing order."""
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        capacity: int,
+        *,
+        wal: WALHook | None = None,
+        careful_writing: bool = True,
+    ):
+        if capacity < 1:
+            raise BufferPoolError("buffer pool capacity must be positive")
+        self._disk = disk
+        self._capacity = capacity
+        self._wal: WALHook = wal if wal is not None else _NullWAL()
+        self._careful_writing = careful_writing
+        #: LRU order: oldest first.  Maps page id -> frame.
+        self._frames: OrderedDict[PageId, _Frame] = OrderedDict()
+        #: source page id -> set of destination page ids that must be
+        #: durable before the source may be written or deallocated.
+        self._write_before: dict[PageId, set[PageId]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.page_writes = 0
+
+    # -- configuration -----------------------------------------------------
+
+    def set_wal(self, wal: WALHook) -> None:
+        """Attach the log manager after construction (breaks an init cycle)."""
+        self._wal = wal
+
+    @property
+    def careful_writing(self) -> bool:
+        return self._careful_writing
+
+    # -- core access --------------------------------------------------------
+
+    def fetch(self, page_id: PageId, *, pin: bool = False) -> Page:
+        """Return the in-pool page object, reading from disk on a miss."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+        else:
+            self.misses += 1
+            page = self._disk.read(page_id)
+            frame = self._admit(page)
+        if pin:
+            frame.pins += 1
+        return frame.page
+
+    def put_new(self, page: Page, *, pin: bool = False) -> Page:
+        """Register a freshly allocated page that has no stable image yet."""
+        if page.page_id in self._frames:
+            raise BufferPoolError(f"page {page.page_id} already buffered")
+        frame = self._admit(page)
+        frame.dirty = True
+        if pin:
+            frame.pins += 1
+        return frame.page
+
+    def pin(self, page_id: PageId) -> None:
+        frame = self._require_frame(page_id)
+        frame.pins += 1
+
+    def unpin(self, page_id: PageId) -> None:
+        frame = self._require_frame(page_id)
+        if frame.pins == 0:
+            raise BufferPoolError(f"page {page_id} is not pinned")
+        frame.pins -= 1
+
+    def mark_dirty(self, page_id: PageId, lsn: int | None = None) -> None:
+        """Mark a buffered page dirty, optionally stamping its page LSN."""
+        frame = self._require_frame(page_id)
+        frame.dirty = True
+        if lsn is not None:
+            frame.page.page_lsn = lsn
+
+    def is_dirty(self, page_id: PageId) -> bool:
+        return self._require_frame(page_id).dirty
+
+    def contains(self, page_id: PageId) -> bool:
+        return page_id in self._frames
+
+    # -- careful writing --------------------------------------------------------
+
+    def add_write_dependency(self, source: PageId, dest: PageId) -> None:
+        """Require ``dest`` to be durable before ``source`` is written/freed.
+
+        No-op when careful writing is disabled (callers then log full record
+        contents instead, see :mod:`repro.wal.records`).
+        """
+        if not self._careful_writing:
+            return
+        if source == dest:
+            raise CarefulWriteViolation("a page cannot depend on itself")
+        self._write_before.setdefault(source, set()).add(dest)
+
+    def pending_dependencies(self, source: PageId) -> set[PageId]:
+        return set(self._write_before.get(source, ()))
+
+    def remove_write_dependency(self, source: PageId, dest: PageId) -> None:
+        """Cancel a write-before edge.
+
+        Used when the action that created the edge is *undone* (section
+        5.2): once the records are moved back, full contents having been
+        logged for the reverse move, neither write order can lose data.
+        """
+        dests = self._write_before.get(source)
+        if dests is not None:
+            dests.discard(dest)
+            if not dests:
+                del self._write_before[source]
+
+    def _clear_dependencies_on(self, dest: PageId) -> None:
+        """``dest`` became durable; drop edges pointing at it."""
+        empty_sources = []
+        for source, dests in self._write_before.items():
+            dests.discard(dest)
+            if not dests:
+                empty_sources.append(source)
+        for source in empty_sources:
+            del self._write_before[source]
+
+    # -- writing ---------------------------------------------------------------
+
+    def flush_page(self, page_id: PageId) -> None:
+        """Write one page to disk, honouring WAL and careful-writing order.
+
+        Pending destination pages are flushed first, recursively.  A
+        dependency cycle (impossible under the reorganizer's protocols, but
+        conceivable from buggy callers) raises
+        :class:`~repro.errors.CarefulWriteViolation`.
+        """
+        self._flush_page(page_id, in_progress=set())
+
+    def _flush_page(self, page_id: PageId, *, in_progress: set[PageId]) -> None:
+        if page_id in in_progress:
+            raise CarefulWriteViolation(
+                f"careful-writing dependency cycle involving page {page_id}"
+            )
+        frame = self._frames.get(page_id)
+        if frame is None or not frame.dirty:
+            # Clean or unbuffered pages are already stable; still clear any
+            # edges that point at them so sources can make progress.
+            self._clear_dependencies_on(page_id)
+            return
+        in_progress.add(page_id)
+        for dest in sorted(self.pending_dependencies(page_id)):
+            self._flush_page(dest, in_progress=in_progress)
+        in_progress.discard(page_id)
+        self._wal.flush(frame.page.page_lsn)
+        self._disk.write(frame.page)
+        frame.dirty = False
+        self.page_writes += 1
+        self._clear_dependencies_on(page_id)
+
+    def flush_all(self) -> None:
+        """Write every dirty page (checkpoint / shutdown helper)."""
+        for page_id in list(self._frames):
+            self.flush_page(page_id)
+
+    def force(self, page_ids: list[PageId]) -> None:
+        """Force-write specific pages now (pass 3 stable points, §7.3)."""
+        for page_id in page_ids:
+            self.flush_page(page_id)
+
+    # -- deallocation -------------------------------------------------------------
+
+    def drop(self, page_id: PageId) -> None:
+        """Remove a page from the pool as part of deallocation.
+
+        Careful writing: the page's destination pages are made durable
+        first, so the copied-out contents cannot be lost.  The caller is
+        responsible for returning the id to the
+        :class:`~repro.storage.allocator.FreeSpaceMap` (which erases the
+        stable image).
+        """
+        frame = self._frames.get(page_id)
+        for dest in sorted(self.pending_dependencies(page_id)):
+            self._flush_page(dest, in_progress=set())
+        self._write_before.pop(page_id, None)
+        if frame is not None:
+            if frame.pins > 0:
+                raise PagePinnedError(f"cannot drop pinned page {page_id}")
+            del self._frames[page_id]
+
+    # -- crash simulation ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Discard all volatile state (buffered pages, dependency edges)."""
+        self._frames.clear()
+        self._write_before.clear()
+
+    # -- internals -------------------------------------------------------------
+
+    def _require_frame(self, page_id: PageId) -> _Frame:
+        frame = self._frames.get(page_id)
+        if frame is None:
+            raise BufferPoolError(f"page {page_id} is not buffered")
+        return frame
+
+    def _admit(self, page: Page) -> _Frame:
+        while len(self._frames) >= self._capacity:
+            self._evict_one()
+        frame = _Frame(page)
+        self._frames[page.page_id] = frame
+        return frame
+
+    def _evict_one(self) -> None:
+        for page_id, frame in self._frames.items():
+            if frame.pins == 0:
+                if frame.dirty:
+                    self._flush_page(page_id, in_progress=set())
+                del self._frames[page_id]
+                self.evictions += 1
+                return
+        raise BufferPoolError("all buffer frames are pinned; cannot evict")

@@ -1,0 +1,394 @@
+"""In-memory page representations.
+
+The simulated disk stores :class:`Page` objects.  Two concrete kinds exist:
+
+* :class:`LeafPage` — holds the data records themselves.  The paper's tree is
+  a *primary* index: "leaf pages contain the data records" (section 2).
+* :class:`InternalPage` — holds ``(key, child_page_id)`` entries.  In the
+  paper's B+-tree variation "an internal node with n keys has n children"
+  (section 2), i.e. each entry's key is the smallest key reachable through
+  that child.  Internal pages directly above the leaves are called *base
+  pages*; they carry the *low mark* used by pass 3 (section 7.1).
+
+Pages track a ``page_lsn`` — the LSN of the last log record applied to the
+page — which the redo pass uses to decide whether a logged action is already
+reflected in the stable image (standard physiological redo, [GR93]).
+
+Capacity is counted in records/entries rather than bytes; this keeps the
+model simple while preserving everything the reorganization algorithms
+depend on (occupancy, ordering, splits, fill factors).
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.errors import BTreeError, DuplicateKeyError, KeyNotFoundError
+
+PageId = int
+
+#: Sentinel page id meaning "no page" (e.g. end of a side-pointer chain).
+NO_PAGE: PageId = -1
+
+
+class PageKind(enum.Enum):
+    """Discriminates the two page layouts."""
+
+    LEAF = "leaf"
+    INTERNAL = "internal"
+
+
+@dataclass(frozen=True, order=True)
+class Record:
+    """A data record stored in a leaf page.
+
+    Ordering is by key so records can live in ``bisect``-maintained sorted
+    lists.  The payload models the non-key bytes of the record; its length
+    contributes to simulated log volume when full record contents must be
+    logged (paper section 5).
+    """
+
+    key: int
+    payload: str = ""
+
+
+class Page:
+    """Common state of both page kinds."""
+
+    kind: PageKind
+
+    def __init__(self, page_id: PageId):
+        self.page_id = page_id
+        #: LSN of the last log record applied to this page (0 = never logged).
+        self.page_lsn: int = 0
+
+    # -- abstract interface -------------------------------------------------
+
+    def clone(self) -> "Page":
+        """Deep copy used when the buffer pool writes a stable image."""
+        raise NotImplementedError
+
+    @property
+    def num_items(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def capacity(self) -> int:
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------
+
+    @property
+    def is_full(self) -> bool:
+        return self.num_items >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return self.num_items == 0
+
+    def fill_fraction(self) -> float:
+        """Occupancy of the page in [0, 1]."""
+        return self.num_items / self.capacity
+
+    def free_slots(self) -> int:
+        return self.capacity - self.num_items
+
+
+class LeafPage(Page):
+    """A leaf page holding sorted records plus optional side pointers."""
+
+    kind = PageKind.LEAF
+
+    def __init__(self, page_id: PageId, capacity: int):
+        super().__init__(page_id)
+        if capacity < 1:
+            raise ValueError("leaf capacity must be positive")
+        self._capacity = capacity
+        self._records: list[Record] = []
+        #: One-way side pointer to the next leaf in key order, or NO_PAGE.
+        self.next_leaf: PageId = NO_PAGE
+        #: Backward pointer for two-way side-pointer configurations.
+        self.prev_leaf: PageId = NO_PAGE
+
+    # -- Page interface -----------------------------------------------------
+
+    def clone(self) -> "LeafPage":
+        copy = LeafPage(self.page_id, self._capacity)
+        copy.page_lsn = self.page_lsn
+        copy._records = list(self._records)
+        copy.next_leaf = self.next_leaf
+        copy.prev_leaf = self.prev_leaf
+        return copy
+
+    @property
+    def num_items(self) -> int:
+        return len(self._records)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    # -- record operations ----------------------------------------------------
+
+    @property
+    def records(self) -> tuple[Record, ...]:
+        """Immutable view of the records, in key order."""
+        return tuple(self._records)
+
+    def keys(self) -> list[int]:
+        return [r.key for r in self._records]
+
+    def min_key(self) -> int:
+        if not self._records:
+            raise BTreeError(f"leaf page {self.page_id} is empty; no min key")
+        return self._records[0].key
+
+    def max_key(self) -> int:
+        if not self._records:
+            raise BTreeError(f"leaf page {self.page_id} is empty; no max key")
+        return self._records[-1].key
+
+    def _index_of(self, key: int) -> int:
+        """Index of ``key`` in the record list, or -1 if absent."""
+        i = bisect.bisect_left(self._records, key, key=lambda r: r.key)
+        if i < len(self._records) and self._records[i].key == key:
+            return i
+        return -1
+
+    def contains(self, key: int) -> bool:
+        return self._index_of(key) >= 0
+
+    def get(self, key: int) -> Record:
+        i = self._index_of(key)
+        if i < 0:
+            raise KeyNotFoundError(f"key {key} not in leaf page {self.page_id}")
+        return self._records[i]
+
+    def insert(self, record: Record) -> None:
+        """Insert a record, keeping key order.  Duplicates are rejected."""
+        if self.is_full:
+            raise BTreeError(f"leaf page {self.page_id} is full")
+        i = bisect.bisect_left(self._records, record.key, key=lambda r: r.key)
+        if i < len(self._records) and self._records[i].key == record.key:
+            raise DuplicateKeyError(f"key {record.key} already in page {self.page_id}")
+        self._records.insert(i, record)
+
+    def delete(self, key: int) -> Record:
+        i = self._index_of(key)
+        if i < 0:
+            raise KeyNotFoundError(f"key {key} not in leaf page {self.page_id}")
+        return self._records.pop(i)
+
+    def take_all(self) -> list[Record]:
+        """Remove and return every record (used when moving page contents)."""
+        records, self._records = self._records, []
+        return records
+
+    def take_first(self, n: int) -> list[Record]:
+        """Remove and return the ``n`` smallest records."""
+        taken = self._records[:n]
+        del self._records[:n]
+        return taken
+
+    def extend(self, records: list[Record]) -> None:
+        """Append records that are all greater than the current maximum.
+
+        Used by compaction, which always moves records in ascending key
+        order; the precondition keeps the page sorted without a re-sort.
+        """
+        if not records:
+            return
+        if len(self._records) + len(records) > self._capacity:
+            raise BTreeError(f"extend would overflow leaf page {self.page_id}")
+        if self._records and records[0].key <= self._records[-1].key:
+            raise BTreeError(
+                f"extend precondition violated on page {self.page_id}: "
+                f"{records[0].key} <= current max {self._records[-1].key}"
+            )
+        for earlier, later in zip(records, records[1:]):
+            if later.key <= earlier.key:
+                raise BTreeError("extend records must be strictly ascending")
+        self._records.extend(records)
+
+    def replace_all(self, records: list[Record]) -> None:
+        """Replace the full record list (used by swaps and recovery redo)."""
+        if len(records) > self._capacity:
+            raise BTreeError(f"replace_all would overflow leaf page {self.page_id}")
+        ordered = sorted(records, key=lambda r: r.key)
+        for earlier, later in zip(ordered, ordered[1:]):
+            if later.key == earlier.key:
+                raise DuplicateKeyError(f"duplicate key {later.key} in replace_all")
+        self._records = ordered
+
+    def iter_from(self, key: int) -> Iterator[Record]:
+        """Yield records with key >= ``key`` in ascending order."""
+        i = bisect.bisect_left(self._records, key, key=lambda r: r.key)
+        yield from self._records[i:]
+
+    def payload_bytes(self) -> int:
+        """Total payload size, used to model full-content log volume."""
+        return sum(len(r.payload) for r in self._records)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = f"{self.min_key()}..{self.max_key()}" if self._records else "empty"
+        return f"<LeafPage {self.page_id} [{span}] {self.num_items}/{self._capacity}>"
+
+
+class InternalPage(Page):
+    """An internal page of ``(key, child)`` entries; n keys, n children.
+
+    The entry key is the smallest key in the child's subtree.  Base pages
+    (internal pages whose children are leaves) additionally carry a *low
+    mark*: the smallest key on the page when it was first created (paper
+    section 7.1).  Pass 3 uses low marks to track its scan position.
+    """
+
+    kind = PageKind.INTERNAL
+
+    def __init__(self, page_id: PageId, capacity: int, *, level: int = 1):
+        super().__init__(page_id)
+        if capacity < 2:
+            raise ValueError("internal capacity must be at least 2")
+        self._capacity = capacity
+        #: Height above the leaves: base pages are level 1.
+        self.level = level
+        self._keys: list[int] = []
+        self._children: list[PageId] = []
+        #: Smallest key on the page when first created; None until set.
+        self.low_mark: Optional[int] = None
+
+    # -- Page interface -----------------------------------------------------
+
+    def clone(self) -> "InternalPage":
+        copy = InternalPage(self.page_id, self._capacity, level=self.level)
+        copy.page_lsn = self.page_lsn
+        copy._keys = list(self._keys)
+        copy._children = list(self._children)
+        copy.low_mark = self.low_mark
+        return copy
+
+    @property
+    def num_items(self) -> int:
+        return len(self._keys)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    # -- entry operations -----------------------------------------------------
+
+    @property
+    def entries(self) -> tuple[tuple[int, PageId], ...]:
+        return tuple(zip(self._keys, self._children))
+
+    def keys(self) -> list[int]:
+        return list(self._keys)
+
+    def children(self) -> list[PageId]:
+        return list(self._children)
+
+    def min_key(self) -> int:
+        if not self._keys:
+            raise BTreeError(f"internal page {self.page_id} is empty; no min key")
+        return self._keys[0]
+
+    def child_index_for(self, key: int) -> int:
+        """Index of the child whose subtree may contain ``key``.
+
+        This is the rightmost entry with entry-key <= ``key``.  Keys smaller
+        than every entry route to the leftmost child (index 0) so searches
+        for keys below the tree minimum terminate at a leaf.
+        """
+        if not self._keys:
+            raise BTreeError(f"internal page {self.page_id} is empty")
+        i = bisect.bisect_right(self._keys, key) - 1
+        return max(i, 0)
+
+    def child_for(self, key: int) -> PageId:
+        return self._children[self.child_index_for(key)]
+
+    def index_of_child(self, child: PageId) -> int:
+        """Index of ``child`` in the child list, or -1 if absent."""
+        try:
+            return self._children.index(child)
+        except ValueError:
+            return -1
+
+    def insert_entry(self, key: int, child: PageId) -> None:
+        if self.is_full:
+            raise BTreeError(f"internal page {self.page_id} is full")
+        i = bisect.bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            raise DuplicateKeyError(
+                f"separator key {key} already in internal page {self.page_id}"
+            )
+        self._keys.insert(i, key)
+        self._children.insert(i, child)
+        if self.low_mark is None:
+            self.low_mark = self._keys[0]
+
+    def remove_entry_for_child(self, child: PageId) -> tuple[int, PageId]:
+        i = self.index_of_child(child)
+        if i < 0:
+            raise KeyNotFoundError(
+                f"child {child} not in internal page {self.page_id}"
+            )
+        return self._keys.pop(i), self._children.pop(i)
+
+    def remove_entry_at(self, index: int) -> tuple[int, PageId]:
+        if not 0 <= index < len(self._keys):
+            raise BTreeError(f"entry index {index} out of range")
+        return self._keys.pop(index), self._children.pop(index)
+
+    def update_entry(
+        self, old_key: int, old_child: PageId, new_key: int, new_child: PageId
+    ) -> None:
+        """Replace one (key, child) entry; the paper's MODIFY action.
+
+        Used after a reorganization unit moves records: the base page entry
+        for a compacted/moved leaf gets a new key and/or pointer (section 5,
+        the MODIFY log record).  Matches the exact (key, child) pair — a
+        child id can transiently appear under two keys midway through a
+        same-base swap, so matching on the child alone is ambiguous.
+        """
+        i = -1
+        for index, (key, child) in enumerate(zip(self._keys, self._children)):
+            if key == old_key and child == old_child:
+                i = index
+                break
+        if i < 0:
+            raise KeyNotFoundError(
+                f"entry ({old_key}, {old_child}) not in page {self.page_id}"
+            )
+        self._keys.pop(i)
+        self._children.pop(i)
+        j = bisect.bisect_left(self._keys, new_key)
+        if j < len(self._keys) and self._keys[j] == new_key:
+            raise DuplicateKeyError(
+                f"separator key {new_key} already in internal page {self.page_id}"
+            )
+        self._keys.insert(j, new_key)
+        self._children.insert(j, new_child)
+
+    def set_entries(self, entries: list[tuple[int, PageId]]) -> None:
+        """Replace the whole entry list (recovery redo, bulk build)."""
+        if len(entries) > self._capacity:
+            raise BTreeError(f"set_entries would overflow page {self.page_id}")
+        ordered = sorted(entries)
+        for (k1, _), (k2, _) in zip(ordered, ordered[1:]):
+            if k1 == k2:
+                raise DuplicateKeyError(f"duplicate separator key {k1}")
+        self._keys = [k for k, _ in ordered]
+        self._children = [c for _, c in ordered]
+        if self.low_mark is None and self._keys:
+            self.low_mark = self._keys[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = f"{self._keys[0]}..{self._keys[-1]}" if self._keys else "empty"
+        return (
+            f"<InternalPage {self.page_id} L{self.level} [{span}] "
+            f"{self.num_items}/{self._capacity}>"
+        )

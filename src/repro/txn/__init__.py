@@ -1,0 +1,36 @@
+"""Transactions and the discrete-event scheduler."""
+
+from repro.txn.ops import (
+    Acquire,
+    Call,
+    Convert,
+    Downgrade,
+    FetchPage,
+    Log,
+    Op,
+    Release,
+    ReleaseAll,
+    Think,
+)
+from repro.txn.scheduler import ProtocolGen, Scheduler, SchedulerStall, run_alone
+from repro.txn.transaction import Transaction, TxnMetrics, TxnState
+
+__all__ = [
+    "Acquire",
+    "Call",
+    "Convert",
+    "Downgrade",
+    "FetchPage",
+    "Log",
+    "Op",
+    "ProtocolGen",
+    "Release",
+    "ReleaseAll",
+    "Scheduler",
+    "SchedulerStall",
+    "Think",
+    "Transaction",
+    "TxnMetrics",
+    "TxnState",
+    "run_alone",
+]

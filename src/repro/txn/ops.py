@@ -1,0 +1,120 @@
+"""Yieldable operations for protocol generators.
+
+Concurrency in this reproduction is modelled with a deterministic
+discrete-event scheduler (see DESIGN.md: the paper's results are about
+*blocking structure*, which a DES measures exactly, not wall-clock
+parallelism).  Transactions and the reorganizer are written as Python
+generators that ``yield`` these operation objects; the scheduler performs
+them, charges simulated time, and sends results back into the generator.
+
+A protocol generator looks like the paper's pseudo-code, almost line for
+line::
+
+    def reader(tree, key):
+        yield Acquire(tree_lock(tree.name), LockMode.IS)
+        ...
+        page = yield FetchPage(leaf_id)
+        yield Think(0.1)          # record processing
+        yield ReleaseAll()
+
+Exceptions are delivered *into* the generator at the yield point:
+:class:`~repro.errors.RXConflictError` when a request hits a held RX lock
+(the paper's forgo-and-back-off signal) and
+:class:`~repro.errors.DeadlockError` when the process is chosen as a
+deadlock victim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.locks.modes import LockMode
+from repro.storage.page import PageId
+from repro.wal.records import LogRecord
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """Request a lock; resumes when granted.
+
+    ``instant`` requests the paper's unconditional instant-duration
+    semantics: the generator resumes when the lock *would be* grantable,
+    without ever holding it.
+    """
+
+    resource: Hashable
+    mode: LockMode
+    instant: bool = False
+
+
+@dataclass(frozen=True)
+class Convert:
+    """Convert a held lock to a stronger mode (e.g. R -> X on a base page)."""
+
+    resource: Hashable
+    mode: LockMode
+
+
+@dataclass(frozen=True)
+class Downgrade:
+    """Replace a held lock with a weaker mode (e.g. page S -> IS while a
+    record-level S is retained, section 4.1.2).  Never waits."""
+
+    resource: Hashable
+    from_mode: LockMode
+    to_mode: LockMode
+
+
+@dataclass(frozen=True)
+class Release:
+    """Release one held lock."""
+
+    resource: Hashable
+    mode: LockMode
+
+
+@dataclass(frozen=True)
+class ReleaseAll:
+    """Drop every lock the process holds (end of transaction)."""
+
+
+@dataclass(frozen=True)
+class FetchPage:
+    """Read a page through the buffer pool; returns the page object.
+
+    Charges the scheduler's I/O time on a buffer miss and hit time
+    otherwise.
+    """
+
+    page_id: PageId
+
+
+@dataclass(frozen=True)
+class Think:
+    """Consume simulated time (record processing, in-memory work)."""
+
+    duration: float
+
+
+@dataclass(frozen=True)
+class Log:
+    """Append a log record; returns its LSN.  No simulated time."""
+
+    record: LogRecord
+
+
+@dataclass(frozen=True)
+class Call:
+    """Run a synchronous function at the current simulated instant.
+
+    The protocol generators keep lock choreography visible as yields while
+    delegating page manipulation to synchronous engine code; ``Call`` makes
+    that delegation explicit and gives the scheduler a hook to count work.
+    Returns the function's result.
+    """
+
+    fn: object  # Callable[[], Any]; typed loosely to keep ops frozen
+
+
+Op = Acquire | Convert | Downgrade | Release | ReleaseAll | FetchPage | Think | Log | Call

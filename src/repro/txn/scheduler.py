@@ -1,0 +1,368 @@
+"""Deterministic discrete-event scheduler for protocol generators.
+
+The scheduler advances a simulated clock and interleaves *processes* —
+generator objects yielding :mod:`repro.txn.ops` operations on behalf of a
+:class:`~repro.txn.transaction.Transaction`.  All interleaving is a pure
+function of spawn times, operation costs and lock-manager state, so every
+concurrency experiment in this repository is exactly reproducible.
+
+Timing model (configurable):
+
+* ``Acquire``/``Convert``/``Release``/``Log``/``Call`` — instantaneous.
+  Blocking on a lock suspends the process until the lock manager's grant
+  callback fires; the elapsed simulated time is charged to the
+  transaction's ``wait_time``.
+* ``FetchPage`` — ``hit_time`` if the page is buffered, ``io_time`` if it
+  must come from disk.
+* ``Think`` — exactly its duration.
+
+Exception delivery: an :class:`~repro.errors.RXConflictError` from the lock
+manager and a :class:`~repro.errors.DeadlockError` for deadlock victims are
+thrown *into* the generator, which implements the paper's reaction (back
+off and RS-wait; or abort/retry).  An exception that escapes the generator
+aborts the process: its locks are released and the failure is recorded in
+:attr:`Scheduler.failed`.
+
+A :class:`~repro.errors.CrashPoint` escaping any process is different: it
+propagates out of :meth:`Scheduler.run` so the crash harness can take over.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Generator
+
+from repro.errors import (
+    CrashPoint,
+    DeadlockError,
+    ReproError,
+    RXConflictError,
+    SwitchTimeoutError,
+    TransactionAborted,
+)
+from repro.locks.manager import LockManager, LockRequest, RequestState
+from repro.txn.ops import (
+    Acquire,
+    Call,
+    Convert,
+    Downgrade,
+    FetchPage,
+    Log,
+    Op,
+    Release,
+    ReleaseAll,
+    Think,
+)
+from repro.txn.transaction import Transaction, TxnState
+
+ProtocolGen = Generator[Op, Any, Any]
+
+
+class SchedulerStall(ReproError):
+    """No runnable events remain but processes are still waiting.
+
+    Indicates a protocol bug (a wait that nothing will ever satisfy) —
+    genuine deadlocks are broken by the victim policy before this fires.
+    """
+
+
+#: Safety valve: maximum ops a process may execute without consuming
+#: simulated time (prevents accidental same-instant spin loops).
+_MAX_ZERO_TIME_OPS = 100_000
+
+
+@dataclass
+class _Process:
+    txn: Transaction
+    gen: ProtocolGen
+    waiting_since: float | None = None
+    done: bool = False
+    #: Set by Scheduler.abort_transaction; honoured at the next step.
+    abort_requested: bool = False
+
+
+class Scheduler:
+    """Event loop over simulated time."""
+
+    def __init__(
+        self,
+        lock_manager: LockManager,
+        *,
+        store=None,
+        log=None,
+        io_time: float = 1.0,
+        hit_time: float = 0.05,
+    ):
+        self.lm = lock_manager
+        self.store = store
+        self.log = log
+        self.io_time = io_time
+        self.hit_time = hit_time
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._processes: list[_Process] = []
+        #: (txn, result) for processes that ran to completion.
+        self.completed: list[tuple[Transaction, Any]] = []
+        #: (txn, exception) for processes that died.
+        self.failed: list[tuple[Transaction, BaseException]] = []
+        self._crash: CrashPoint | None = None
+
+    # -- public API ------------------------------------------------------------
+
+    def spawn(
+        self,
+        gen: ProtocolGen,
+        *,
+        txn: Transaction | None = None,
+        name: str | None = None,
+        at: float = 0.0,
+        is_reorganizer: bool = False,
+    ) -> Transaction:
+        """Register a protocol generator to start at simulated time ``at``."""
+        transaction = txn or Transaction(name, is_reorganizer=is_reorganizer)
+        process = _Process(transaction, gen)
+        self._processes.append(process)
+        self._schedule(at, lambda: self._start(process))
+        return transaction
+
+    def run(self, *, until: float | None = None, max_events: int = 2_000_000) -> None:
+        """Drain the event heap (optionally up to simulated time ``until``)."""
+        events = 0
+        while self._heap:
+            if self._crash is not None:
+                raise self._crash
+            time, _, action = heapq.heappop(self._heap)
+            if until is not None and time > until:
+                heapq.heappush(self._heap, (time, next(self._seq), action))
+                return
+            self.now = max(self.now, time)
+            action()
+            events += 1
+            if events > max_events:
+                raise SchedulerStall(f"exceeded {max_events} events")
+        if self._crash is not None:
+            raise self._crash
+        stuck = [p for p in self._processes if not p.done and p.waiting_since is not None]
+        if stuck:
+            names = ", ".join(p.txn.name for p in stuck)
+            raise SchedulerStall(f"no events left but processes wait: {names}")
+
+    @property
+    def active_count(self) -> int:
+        return sum(1 for p in self._processes if not p.done)
+
+    def abort_transaction(self, txn: Transaction, reason: str = "forced abort") -> bool:
+        """Force a running process to abort (the paper's switch policy:
+        "it will force the on-going transactions that use the old tree to
+        abort", section 7.4).  Returns False if the process is done."""
+        for process in self._processes:
+            if process.txn is txn and not process.done:
+                process.abort_requested = True
+                if self.lm.waiting_request(txn) is not None:
+                    self.lm.cancel_wait(txn)
+                # Wake the process *now* — a transaction sleeping in Think
+                # must not keep its locks until its timer fires.  Its stale
+                # timer event later finds the process done and no-ops.
+                self._schedule(
+                    self.now,
+                    lambda p=process: self._step(
+                        p, throw=TransactionAborted(reason)
+                    ),
+                )
+                return True
+        return False
+
+    # -- internals ------------------------------------------------------------
+
+    def _schedule(self, time: float, action: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), action))
+
+    def _start(self, process: _Process) -> None:
+        process.txn.metrics.start_time = self.now
+        self._step(process, send_value=None)
+
+    def _finish(self, process: _Process, result: Any) -> None:
+        process.done = True
+        process.txn.metrics.end_time = self.now
+        if process.txn.state is TxnState.ACTIVE:
+            process.txn.state = TxnState.COMMITTED
+        self.lm.release_all(process.txn)
+        self.completed.append((process.txn, result))
+
+    def _fail(self, process: _Process, exc: BaseException) -> None:
+        process.done = True
+        process.txn.state = TxnState.ABORTED
+        process.txn.metrics.end_time = self.now
+        self.lm.cancel_wait(process.txn)
+        self.lm.release_all(process.txn)
+        self.failed.append((process.txn, exc))
+
+    def _step(
+        self,
+        process: _Process,
+        *,
+        send_value: Any = None,
+        throw: BaseException | None = None,
+    ) -> None:
+        """Advance one process until it suspends, finishes or fails."""
+        gen = process.gen
+        txn = process.txn
+        if process.done:
+            return  # a late wake-up for an already-aborted process
+        if process.abort_requested and throw is None:
+            process.abort_requested = False
+            throw = TransactionAborted("forced abort")
+        for _ in range(_MAX_ZERO_TIME_OPS):
+            try:
+                if throw is not None:
+                    exc, throw = throw, None
+                    op = gen.throw(exc)
+                else:
+                    op = gen.send(send_value)
+            except StopIteration as stop:
+                self._finish(process, stop.value)
+                return
+            except CrashPoint as crash:
+                # A crash takes the whole system down, not one process.
+                self._crash = crash
+                return
+            except (
+                DeadlockError,
+                TransactionAborted,
+                RXConflictError,
+                SwitchTimeoutError,  # an expected switch-policy outcome
+            ) as abort:
+                self._fail(process, abort)
+                return
+            send_value = None
+
+            if isinstance(op, Acquire):
+                txn.metrics.lock_requests += 1
+                try:
+                    request = self.lm.request(
+                        txn,
+                        op.resource,
+                        op.mode,
+                        instant=op.instant,
+                        on_grant=self._make_grant_callback(process),
+                        on_deadlock=self._make_deadlock_callback(process),
+                    )
+                except RXConflictError as conflict:
+                    txn.metrics.rx_backoffs += 1
+                    throw = conflict
+                    continue
+                if request.state is RequestState.WAITING:
+                    self._suspend_on_lock(process)
+                    return
+                send_value = request
+            elif isinstance(op, Convert):
+                txn.metrics.lock_requests += 1
+                try:
+                    request = self.lm.convert(
+                        txn,
+                        op.resource,
+                        op.mode,
+                        on_grant=self._make_grant_callback(process),
+                        on_deadlock=self._make_deadlock_callback(process),
+                    )
+                except RXConflictError as conflict:
+                    txn.metrics.rx_backoffs += 1
+                    throw = conflict
+                    continue
+                if request.state is RequestState.WAITING:
+                    self._suspend_on_lock(process)
+                    return
+                send_value = request
+            elif isinstance(op, Downgrade):
+                self.lm.downgrade(txn, op.resource, op.from_mode, op.to_mode)
+            elif isinstance(op, Release):
+                self.lm.release(txn, op.resource, op.mode)
+            elif isinstance(op, ReleaseAll):
+                self.lm.release_all(txn)
+            elif isinstance(op, FetchPage):
+                cost = self._fetch_cost(op.page_id)
+                txn.metrics.pages_read += 1
+                page = self.store.get(op.page_id) if self.store else None
+                self._schedule(
+                    self.now + cost,
+                    lambda p=process, pg=page: self._step(p, send_value=pg),
+                )
+                return
+            elif isinstance(op, Think):
+                self._schedule(
+                    self.now + op.duration,
+                    lambda p=process: self._step(p, send_value=None),
+                )
+                return
+            elif isinstance(op, Log):
+                if self.log is None:
+                    send_value = 0
+                else:
+                    send_value = self.log.append(op.record)
+            elif isinstance(op, Call):
+                try:
+                    send_value = op.fn()  # type: ignore[operator]
+                except CrashPoint as crash:
+                    self._crash = crash
+                    return
+            else:  # pragma: no cover - defensive
+                raise ReproError(f"unknown op {op!r}")
+        raise SchedulerStall(
+            f"process {txn.name} executed {_MAX_ZERO_TIME_OPS} ops without "
+            f"consuming simulated time"
+        )
+
+    def _fetch_cost(self, page_id) -> float:
+        if self.store is not None and self.store.buffer.contains(page_id):
+            return self.hit_time
+        return self.io_time
+
+    def _suspend_on_lock(self, process: _Process) -> None:
+        process.txn.metrics.blocks += 1
+        process.waiting_since = self.now
+        victims = self.lm.resolve_deadlocks()
+        # Victim callbacks have already scheduled their wake-ups.
+        del victims
+
+    def _make_grant_callback(self, process: _Process):
+        def on_grant(request: LockRequest) -> None:
+            if process.waiting_since is not None:
+                process.txn.metrics.wait_time += self.now - process.waiting_since
+                process.waiting_since = None
+            self._schedule(
+                self.now, lambda: self._step(process, send_value=request)
+            )
+
+        return on_grant
+
+    def _make_deadlock_callback(self, process: _Process):
+        def on_deadlock(request: LockRequest) -> None:
+            process.txn.metrics.deadlocks += 1
+            if process.waiting_since is not None:
+                process.txn.metrics.wait_time += self.now - process.waiting_since
+                process.waiting_since = None
+            error = DeadlockError(
+                f"{process.txn.name} chosen as deadlock victim", victim=process.txn
+            )
+            self._schedule(self.now, lambda: self._step(process, throw=error))
+
+        return on_deadlock
+
+
+def run_alone(gen: ProtocolGen, *, lock_manager: LockManager | None = None,
+              store=None, log=None, txn: Transaction | None = None) -> Any:
+    """Drive one protocol generator to completion with no contention.
+
+    Used when the algorithms run outside a concurrency experiment (setup
+    code, unit tests, the synchronous reorganizer API).  Every lock is
+    granted immediately; simulated time is not tracked.
+    """
+    scheduler = Scheduler(lock_manager or LockManager(), store=store, log=log)
+    scheduler.spawn(gen, txn=txn)
+    scheduler.run()
+    if scheduler.failed:
+        raise scheduler.failed[0][1]
+    return scheduler.completed[0][1]

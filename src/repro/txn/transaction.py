@@ -1,0 +1,67 @@
+"""Transaction contexts: identity, lock ownership, per-process metrics.
+
+A :class:`Transaction` is the lock *owner* object handed to the lock
+manager and the unit the scheduler accounts time to.  The reorganizer gets
+``is_reorganizer=True``, which drives the paper's deadlock-victim policy
+("we always force the reorganizer to give up its lock").
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+_txn_ids = itertools.count(1)
+
+
+class TxnState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class TxnMetrics:
+    """Per-transaction accounting the concurrency benchmarks read."""
+
+    start_time: float = 0.0
+    end_time: float = 0.0
+    #: Total simulated time spent waiting for locks.
+    wait_time: float = 0.0
+    #: Number of times the process blocked on a lock.
+    blocks: int = 0
+    #: Number of RX back-offs performed (reader/updater protocol).
+    rx_backoffs: int = 0
+    #: Number of times this transaction was a deadlock victim.
+    deadlocks: int = 0
+    #: Number of lock requests issued.
+    lock_requests: int = 0
+    pages_read: int = 0
+
+    @property
+    def elapsed(self) -> float:
+        return self.end_time - self.start_time
+
+
+class Transaction:
+    """Lock owner + metrics holder for one scheduled process."""
+
+    def __init__(self, name: str | None = None, *, is_reorganizer: bool = False):
+        self.txn_id: int = next(_txn_ids)
+        self.name = name or f"txn-{self.txn_id}"
+        self.is_reorganizer = is_reorganizer
+        self.state = TxnState.ACTIVE
+        self.metrics = TxnMetrics()
+        #: LSN of this transaction's most recent log record (undo chain head).
+        self.last_lsn: int = 0
+
+    def __repr__(self) -> str:
+        flag = " reorg" if self.is_reorganizer else ""
+        return f"<Txn {self.txn_id} {self.name}{flag} {self.state.value}>"
+
+    def __hash__(self) -> int:
+        return self.txn_id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Transaction) and other.txn_id == self.txn_id

@@ -1,0 +1,404 @@
+"""The do/redo interpreter: one code path applies a log record to pages.
+
+Normal operation composes a log record, appends it, and *applies* it here;
+the redo pass of recovery replays the same records through the same
+function.  "Do equals redo" removes a whole class of divergence bugs and is
+what makes physiological redo trustworthy ([GR93], chapter 10).
+
+``redo=True`` adds the standard page-LSN test (skip records already
+reflected in the page) and tolerates pages that must be re-created (a page
+that was allocated and logged but whose image never reached disk before the
+crash: its Alloc + Format records rebuild it).
+
+The MOVE records implement the paper's careful-writing optimization
+(section 5): with careful writing on, only the *keys* of moved records are
+logged.  Applying the out-half removes those records from the org page and
+stashes them (keyed by the out-record's LSN); the in-half picks them up.
+Careful writing guarantees the stash can always be populated during redo:
+the org page cannot have reached disk with the records already removed
+unless the dest page (with the records added) is durable too, in which case
+both halves are skipped by the page-LSN test.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import LogError, StorageError
+from repro.storage.page import InternalPage, LeafPage, PageId, Record
+from repro.storage.store import StorageManager
+from repro.wal.records import (
+    AllocRecord,
+    BaseEntryDeleteRecord,
+    BaseEntryInsertRecord,
+    BaseEntryUpdateRecord,
+    CompensationRecord,
+    FreeRecord,
+    InternalFormatRecord,
+    LeafDeleteRecord,
+    LeafFormatRecord,
+    LeafInsertRecord,
+    LogRecord,
+    ReorgModifyRecord,
+    ReorgMoveInRecord,
+    ReorgMoveOutRecord,
+    ReorgSwapRecord,
+    SidePointerRecord,
+)
+
+#: Stash type threading moved-record contents from a MoveOut application to
+#: the matching MoveIn: {move_out_lsn: [Record, ...]}.
+MoveStash = dict[int, list[Record]]
+
+
+def _page_for_redo(store: StorageManager, page_id: PageId, record: LogRecord):
+    """Fetch a page during redo, or None when the record is for a page that
+    no longer exists (freed later in the log; the later Free wins)."""
+    if store.buffer.contains(page_id):
+        return store.get(page_id)
+    if store.disk.has_image(page_id):
+        return store.get(page_id)
+    return None
+
+
+def _needs_redo(page, record: LogRecord) -> bool:
+    return page.page_lsn < record.lsn
+
+
+def apply_record(
+    store: StorageManager,
+    record: LogRecord,
+    *,
+    redo: bool = False,
+    stash: MoveStash | None = None,
+) -> Any:
+    """Apply one log record's page effects.
+
+    Returns an operation-specific value (e.g. the records a MoveOut
+    removed).  In redo mode, records already reflected on the page are
+    skipped and missing pages are rebuilt where the record carries a full
+    image (format records) or ignored where it cannot matter.
+    """
+    if isinstance(record, LeafInsertRecord):
+        return _apply_leaf_insert(store, record, redo)
+    if isinstance(record, LeafDeleteRecord):
+        return _apply_leaf_delete(store, record, redo)
+    if isinstance(record, CompensationRecord):
+        return _apply_clr(store, record, redo)
+    if isinstance(record, LeafFormatRecord):
+        return _apply_leaf_format(store, record, redo)
+    if isinstance(record, InternalFormatRecord):
+        return _apply_internal_format(store, record, redo)
+    if isinstance(record, BaseEntryInsertRecord):
+        return _apply_base_insert(store, record, redo)
+    if isinstance(record, BaseEntryDeleteRecord):
+        return _apply_base_delete(store, record, redo)
+    if isinstance(record, BaseEntryUpdateRecord):
+        return _apply_base_update(store, record, redo)
+    if isinstance(record, SidePointerRecord):
+        return _apply_side_pointer(store, record, redo)
+    if isinstance(record, AllocRecord):
+        return _apply_alloc(store, record, redo)
+    if isinstance(record, FreeRecord):
+        return _apply_free(store, record, redo)
+    if isinstance(record, ReorgMoveOutRecord):
+        return _apply_move_out(store, record, redo, stash)
+    if isinstance(record, ReorgMoveInRecord):
+        return _apply_move_in(store, record, redo, stash)
+    if isinstance(record, ReorgSwapRecord):
+        return _apply_swap(store, record, redo)
+    if isinstance(record, ReorgModifyRecord):
+        return _apply_modify(store, record, redo)
+    raise LogError(f"record type {type(record).__name__} has no page effects")
+
+
+def is_redoable(record: LogRecord) -> bool:
+    """Whether the record type carries page effects ``apply_record`` knows."""
+    return isinstance(
+        record,
+        (
+            LeafInsertRecord,
+            LeafDeleteRecord,
+            CompensationRecord,
+            LeafFormatRecord,
+            InternalFormatRecord,
+            BaseEntryInsertRecord,
+            BaseEntryDeleteRecord,
+            BaseEntryUpdateRecord,
+            SidePointerRecord,
+            AllocRecord,
+            FreeRecord,
+            ReorgMoveOutRecord,
+            ReorgMoveInRecord,
+            ReorgSwapRecord,
+            ReorgModifyRecord,
+        ),
+    )
+
+
+# -- user / structural records ------------------------------------------------
+
+
+def _apply_leaf_insert(store, record: LeafInsertRecord, redo: bool):
+    page = _fetch(store, record.page_id, redo, record)
+    if page is None or (redo and not _needs_redo(page, record)):
+        return None
+    page.insert(record.record)
+    store.mark_dirty(page.page_id, record.lsn)
+    return None
+
+
+def _apply_leaf_delete(store, record: LeafDeleteRecord, redo: bool):
+    page = _fetch(store, record.page_id, redo, record)
+    if page is None or (redo and not _needs_redo(page, record)):
+        return None
+    page.delete(record.record.key)
+    store.mark_dirty(page.page_id, record.lsn)
+    return None
+
+
+def _apply_clr(store, record: CompensationRecord, redo: bool):
+    page = _fetch(store, record.page_id, redo, record)
+    if page is None or (redo and not _needs_redo(page, record)):
+        return None
+    if record.is_insert:
+        page.insert(record.record)
+    else:
+        page.delete(record.record.key)
+    store.mark_dirty(page.page_id, record.lsn)
+    return None
+
+
+def _apply_leaf_format(store, record: LeafFormatRecord, redo: bool):
+    page = _fetch_or_create_leaf(store, record.page_id)
+    if redo and not _needs_redo(page, record):
+        return None
+    page.replace_all(list(record.records))
+    page.next_leaf = record.next_leaf
+    page.prev_leaf = record.prev_leaf
+    store.mark_dirty(page.page_id, record.lsn)
+    return None
+
+
+def _apply_internal_format(store, record: InternalFormatRecord, redo: bool):
+    page = _fetch_or_create_internal(store, record.page_id, record.level)
+    if redo and not _needs_redo(page, record):
+        return None
+    page.level = record.level
+    page.set_entries(list(record.entries))
+    page.low_mark = record.low_mark
+    store.mark_dirty(page.page_id, record.lsn)
+    return None
+
+
+def _apply_base_insert(store, record: BaseEntryInsertRecord, redo: bool):
+    page = _fetch(store, record.page_id, redo, record)
+    if page is None or (redo and not _needs_redo(page, record)):
+        return None
+    page.insert_entry(record.key, record.child)
+    store.mark_dirty(page.page_id, record.lsn)
+    return None
+
+
+def _apply_base_delete(store, record: BaseEntryDeleteRecord, redo: bool):
+    page = _fetch(store, record.page_id, redo, record)
+    if page is None or (redo and not _needs_redo(page, record)):
+        return None
+    page.remove_entry_for_child(record.child)
+    store.mark_dirty(page.page_id, record.lsn)
+    return None
+
+
+def _apply_base_update(store, record: BaseEntryUpdateRecord, redo: bool):
+    page = _fetch(store, record.page_id, redo, record)
+    if page is None or (redo and not _needs_redo(page, record)):
+        return None
+    page.update_entry(
+        record.org_key, record.org_child, record.new_key, record.new_child
+    )
+    store.mark_dirty(page.page_id, record.lsn)
+    return None
+
+
+def _apply_side_pointer(store, record: SidePointerRecord, redo: bool):
+    page = _fetch(store, record.page_id, redo, record)
+    if page is None or (redo and not _needs_redo(page, record)):
+        return None
+    page.next_leaf = record.next_leaf
+    page.prev_leaf = record.prev_leaf
+    store.mark_dirty(page.page_id, record.lsn)
+    return None
+
+
+def _apply_alloc(store, record: AllocRecord, redo: bool):
+    if not redo:
+        # Normal operation allocates through the store before logging.
+        return None
+    if store.free_map.is_free(record.page_id):
+        store.free_map.allocate(
+            store.free_map.extent_for(record.page_id), record.page_id
+        )
+    return None
+
+
+def _apply_free(store, record: FreeRecord, redo: bool):
+    if not redo:
+        return None
+    if store.free_map.is_free(record.page_id):
+        return None
+    # Reincarnation test: if the page's current image carries a later LSN,
+    # the page was freed, reallocated and rewritten after this record — the
+    # free is superseded and must not erase the newer incarnation.
+    if store.buffer.contains(record.page_id) or store.disk.has_image(record.page_id):
+        page = store.get(record.page_id)
+        if page.page_lsn > record.lsn:
+            return None
+    if store.buffer.contains(record.page_id):
+        store.buffer.drop(record.page_id)
+    store.free_map.free(record.page_id)
+    return None
+
+
+# -- reorganization records -----------------------------------------------------
+
+
+def _apply_move_out(
+    store, record: ReorgMoveOutRecord, redo: bool, stash: MoveStash | None
+):
+    page = _fetch(store, record.org_page, redo, record)
+    if page is None:
+        return None
+    if redo and not _needs_redo(page, record):
+        # Careful writing: org already durable without the records, so the
+        # dest must be durable with them; nothing to stash.
+        return None
+    if redo and not all(page.contains(key) for key in record.keys):
+        # The org page's on-disk state is a *later incarnation* than this
+        # record (the page was freed and reallocated further down the log;
+        # page ids reincarnate, page LSNs only see the latest).  Careful
+        # writing guarantees the move's downstream resting place is durable:
+        # the free that ended the incarnation could only run after its
+        # drop() force-flushed every write-before dependency.  Removing the
+        # "present subset" would corrupt the newer incarnation, so this is
+        # strictly all-or-nothing: skip entirely.
+        return None
+    removed = [page.delete(key) for key in record.keys]
+    store.mark_dirty(page.page_id, record.lsn)
+    if stash is not None:
+        stash[record.lsn] = removed
+    return removed
+
+
+def _apply_move_in(
+    store, record: ReorgMoveInRecord, redo: bool, stash: MoveStash | None
+):
+    if redo and not record.records:
+        stashed = stash is not None and record.move_out_lsn in stash
+        if not stashed:
+            # The matching MoveOut was skipped during redo (org page gone,
+            # already-applied, or a later incarnation of its page id).
+            # Careful writing implies the move's effects are durably
+            # superseded: the dest was forced to disk before the org could
+            # be written or freed, and if the dest was *itself* freed later
+            # in the log, its own drop() force-flushed the next hop of the
+            # chain first.  Whatever dest state redo is looking at —
+            # durable post-move image, a rebuilt newer incarnation, or
+            # nothing — this MoveIn must be skipped, never resurrected.
+            return None
+    page = _fetch_or_create_leaf(store, record.dest_page)
+    if redo and not _needs_redo(page, record):
+        return None
+    if record.records:
+        moved = list(record.records)
+    else:
+        if stash is None or record.move_out_lsn not in stash:
+            raise LogError(
+                f"MoveIn at LSN {record.lsn}: keys-only record but no "
+                f"stashed contents from MoveOut LSN {record.move_out_lsn}"
+            )
+        moved = stash.pop(record.move_out_lsn)
+    for moved_record in moved:
+        page.insert(moved_record)
+    store.mark_dirty(page.page_id, record.lsn)
+    return None
+
+
+def _apply_swap(store, record: ReorgSwapRecord, redo: bool):
+    """Swap leaf contents.  A write-before dependency (A before B) plus the
+    logged full contents of A make this redoable; see records.py."""
+    page_a = _fetch(store, record.page_a, redo, record)
+    page_b = _fetch(store, record.page_b, redo, record)
+    if not redo and (page_a is None or page_b is None):
+        raise LogError(f"swap at LSN {record.lsn}: missing page")
+    # During redo a missing page means it was freed later in the log; its
+    # half of the swap is superseded.  The write-before dependency (A
+    # durable before B may be written or freed) guarantees the *other*
+    # half's inputs are still available whenever it needs redoing.
+    redo_a = page_a is not None and (not redo or _needs_redo(page_a, record))
+    redo_b = page_b is not None and (not redo or _needs_redo(page_b, record))
+    if redo_a:
+        if record.records_b:
+            contents_for_a = list(record.records_b)
+        elif page_b is not None:
+            # Careful writing: B is unmodified whenever A needs redo.
+            contents_for_a = [Record(r.key, r.payload) for r in page_b.records]
+        else:
+            raise LogError(
+                f"swap at LSN {record.lsn}: page A needs redo but page B "
+                f"is gone and its contents were not logged"
+            )
+        page_a.replace_all(contents_for_a)
+        store.mark_dirty(page_a.page_id, record.lsn)
+    if redo_b:
+        page_b.replace_all(list(record.records_a))
+        store.mark_dirty(page_b.page_id, record.lsn)
+    return None
+
+
+def _apply_modify(store, record: ReorgModifyRecord, redo: bool):
+    page = _fetch(store, record.base_page, redo, record)
+    if page is None or (redo and not _needs_redo(page, record)):
+        return None
+    if record.org_child == -1:
+        page.insert_entry(record.new_key, record.new_child)
+    elif record.new_child == -1:
+        page.remove_entry_for_child(record.org_child)
+    else:
+        page.update_entry(
+            record.org_key, record.org_child, record.new_key, record.new_child
+        )
+    store.mark_dirty(page.page_id, record.lsn)
+    return None
+
+
+# -- fetch helpers -----------------------------------------------------------
+
+
+def _fetch(store, page_id: PageId, redo: bool, record: LogRecord):
+    if redo:
+        return _page_for_redo(store, page_id, record)
+    return store.get(page_id)
+
+
+def _fetch_or_create_leaf(store, page_id: PageId) -> LeafPage:
+    if store.buffer.contains(page_id) or store.disk.has_image(page_id):
+        page = store.get(page_id)
+        if not isinstance(page, LeafPage):
+            raise StorageError(f"page {page_id} is not a leaf")
+        return page
+    page = LeafPage(page_id, store.config.leaf_capacity)
+    store.buffer.put_new(page)
+    store.free_map.mark_allocated(page_id)
+    return page
+
+
+def _fetch_or_create_internal(store, page_id: PageId, level: int) -> InternalPage:
+    if store.buffer.contains(page_id) or store.disk.has_image(page_id):
+        page = store.get(page_id)
+        if not isinstance(page, InternalPage):
+            raise StorageError(f"page {page_id} is not an internal page")
+        return page
+    page = InternalPage(page_id, store.config.internal_capacity, level=level)
+    store.buffer.put_new(page)
+    store.free_map.mark_allocated(page_id)
+    return page

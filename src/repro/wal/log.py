@@ -1,0 +1,173 @@
+"""The log manager: append, flush, crash, and scan.
+
+A standard WAL split into a *stable prefix* (survives crashes) and a
+*volatile tail* (lost on crash).  ``append`` assigns monotonically increasing
+LSNs starting at 1; ``flush`` advances the stable boundary; ``crash``
+truncates the tail.  The buffer pool calls :meth:`LogManager.flush` before
+page writes (write-ahead rule) via the :class:`repro.storage.buffer.WALHook`
+protocol.
+
+Byte accounting feeds benchmark E4: every append adds the record's simulated
+size (see :meth:`repro.wal.records.LogRecord.log_bytes`) to per-category
+totals, so the careful-writing vs. full-contents comparison can be read
+straight off :attr:`LogStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import LogError
+from repro.wal.records import (
+    CheckpointRecord,
+    LogRecord,
+    ReorgMoveInRecord,
+    ReorgMoveOutRecord,
+    ReorgRecord,
+    ReorgSwapRecord,
+)
+
+
+@dataclass
+class LogStats:
+    """Byte and record counters, by category."""
+
+    records_appended: int = 0
+    bytes_appended: int = 0
+    reorg_records: int = 0
+    reorg_bytes: int = 0
+    move_bytes: int = 0
+    swap_bytes: int = 0
+    flushes: int = 0
+
+    def reset(self) -> None:
+        self.records_appended = 0
+        self.bytes_appended = 0
+        self.reorg_records = 0
+        self.reorg_bytes = 0
+        self.move_bytes = 0
+        self.swap_bytes = 0
+        self.flushes = 0
+
+
+class LogManager:
+    """Append-only simulated write-ahead log."""
+
+    def __init__(self):
+        self._records: list[LogRecord] = []
+        self._flushed_upto: int = 0  # LSN of last stable record
+        self._last_checkpoint_lsn: int = 0
+        self.stats = LogStats()
+
+    # -- append/flush -------------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        return len(self._records) + 1
+
+    @property
+    def last_lsn(self) -> int:
+        return len(self._records)
+
+    @property
+    def flushed_lsn(self) -> int:
+        return self._flushed_upto
+
+    @property
+    def last_checkpoint_lsn(self) -> int:
+        return self._last_checkpoint_lsn
+
+    def append(self, record: LogRecord) -> int:
+        """Assign the next LSN to ``record`` and append it (volatile)."""
+        record.lsn = self.next_lsn
+        self._records.append(record)
+        size = record.log_bytes()
+        self.stats.records_appended += 1
+        self.stats.bytes_appended += size
+        if isinstance(record, ReorgRecord):
+            self.stats.reorg_records += 1
+            self.stats.reorg_bytes += size
+            if isinstance(record, (ReorgMoveInRecord, ReorgMoveOutRecord)):
+                self.stats.move_bytes += size
+            elif isinstance(record, ReorgSwapRecord):
+                self.stats.swap_bytes += size
+        if isinstance(record, CheckpointRecord):
+            self._last_checkpoint_lsn = record.lsn
+        return record.lsn
+
+    def flush(self, up_to_lsn: int | None = None) -> None:
+        """Make records with LSN <= ``up_to_lsn`` stable (default: all)."""
+        target = self.last_lsn if up_to_lsn is None else min(up_to_lsn, self.last_lsn)
+        if target > self._flushed_upto:
+            self._flushed_upto = target
+            self.stats.flushes += 1
+
+    # -- crash / recovery scan ------------------------------------------------
+
+    def crash(self) -> None:
+        """Drop the volatile tail; only flushed records survive."""
+        del self._records[self._flushed_upto :]
+        # A checkpoint that never reached the disk is gone too.
+        if self._last_checkpoint_lsn > self._flushed_upto:
+            self._last_checkpoint_lsn = self._find_last_checkpoint()
+
+    def _find_last_checkpoint(self) -> int:
+        for record in reversed(self._records):
+            if isinstance(record, CheckpointRecord):
+                return record.lsn
+        return 0
+
+    def truncate(self, before_lsn: int) -> int:
+        """Discard records with LSN < ``before_lsn`` (log reclamation).
+
+        Section 5: the reorg progress table's BEGIN LSN, "together with the
+        transaction low-water mark [GR93], can be used to calculate the
+        low-water mark for system recovery — i.e., the lowest LSN that must
+        be kept available for recovery."  Truncating up to that mark is
+        safe; truncating past it makes recovery fail loudly
+        (:class:`~repro.errors.LogCorruptionError`) instead of silently.
+
+        Returns the number of records discarded.
+        """
+        cutoff = min(before_lsn, self.last_lsn + 1)
+        discarded = 0
+        for index in range(cutoff - 1):
+            if self._records[index] is not None:
+                self._records[index] = None
+                discarded += 1
+        return discarded
+
+    def get(self, lsn: int) -> LogRecord:
+        """Fetch one record by LSN."""
+        if not 1 <= lsn <= self.last_lsn:
+            raise LogError(f"LSN {lsn} out of range [1, {self.last_lsn}]")
+        record = self._records[lsn - 1]
+        if record is None:
+            from repro.errors import LogCorruptionError
+
+            raise LogCorruptionError(
+                f"LSN {lsn} was truncated away (below the low-water mark?)"
+            )
+        if record.lsn != lsn:
+            raise LogError(f"log integrity failure at LSN {lsn}")
+        return record
+
+    def records_from(self, lsn: int) -> Iterator[LogRecord]:
+        """Yield records with LSN >= ``lsn`` in log order (skipping
+        truncated positions)."""
+        start = max(lsn, 1)
+        for record in self._records[start - 1 :]:
+            if record is not None:
+                yield record
+
+    def walk_chain(self, lsn: int) -> Iterator[LogRecord]:
+        """Follow the prev_lsn chain backwards starting at ``lsn``."""
+        cursor = lsn
+        while cursor > 0:
+            record = self.get(cursor)
+            yield record
+            cursor = record.prev_lsn
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,102 @@
+"""Property-based tests: the B+-tree behaves like a sorted dict.
+
+Hypothesis drives random operation sequences against the tree and a plain
+dict model; after every batch the tree must validate and agree with the
+model on content, order, and range queries.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.btree.bulkload import bulk_load
+from repro.btree.tree import BPlusTree
+from repro.config import SidePointerKind
+from repro.storage.page import Record
+
+from tests.conftest import make_env
+
+KEYS = st.integers(min_value=-10_000, max_value=10_000)
+
+# An operation is ("insert", key) or ("delete", key).
+OPS = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]), KEYS),
+    min_size=1,
+    max_size=200,
+)
+
+SIDE_KINDS = st.sampled_from(
+    [SidePointerKind.NONE, SidePointerKind.ONE_WAY, SidePointerKind.TWO_WAY]
+)
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS, side=SIDE_KINDS)
+def test_tree_matches_dict_model(ops, side):
+    store, log = make_env(
+        leaf_capacity=4, internal_capacity=4, side_pointers=side
+    )
+    tree = BPlusTree.create(store, log)
+    model: dict[int, str] = {}
+    for action, key in ops:
+        if action == "insert":
+            if key not in model:
+                tree.insert(Record(key, f"v{key}"))
+                model[key] = f"v{key}"
+        else:
+            if key in model:
+                tree.delete(key)
+                del model[key]
+    tree.validate()
+    assert [r.key for r in tree.items()] == sorted(model)
+    for key in list(model)[:20]:
+        assert tree.search(key).payload == model[key]
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=OPS, low=KEYS, high=KEYS)
+def test_range_scan_matches_model(ops, low, high):
+    store, log = make_env(leaf_capacity=4, internal_capacity=4)
+    tree = BPlusTree.create(store, log)
+    model: set[int] = set()
+    for action, key in ops:
+        if action == "insert" and key not in model:
+            tree.insert(Record(key))
+            model.add(key)
+        elif action == "delete" and key in model:
+            tree.delete(key)
+            model.discard(key)
+    expected = sorted(k for k in model if low <= k <= high)
+    assert [r.key for r in tree.range_scan(low, high)] == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    keys=st.lists(KEYS, unique=True, min_size=1, max_size=300),
+    leaf_fill=st.floats(min_value=0.3, max_value=1.0),
+    internal_fill=st.floats(min_value=0.5, max_value=1.0),
+)
+def test_bulk_load_equivalent_to_inserts(keys, leaf_fill, internal_fill):
+    records = [Record(k, f"v{k}") for k in sorted(keys)]
+    store, log = make_env(leaf_capacity=8, internal_capacity=8)
+    tree = bulk_load(
+        store, log, records, leaf_fill=leaf_fill, internal_fill=internal_fill
+    )
+    tree.validate()
+    assert [r.key for r in tree.items()] == sorted(keys)
+    # Bulk-loaded trees are updatable afterwards.
+    probe = max(keys) + 1
+    tree.insert(Record(probe))
+    assert tree.search(probe) is not None
+    tree.validate()
+
+
+@settings(max_examples=30, deadline=None)
+@given(keys=st.lists(KEYS, unique=True, min_size=5, max_size=200))
+def test_bulk_load_leaves_are_in_disk_and_key_order(keys):
+    records = [Record(k) for k in sorted(keys)]
+    store, log = make_env(leaf_capacity=4, internal_capacity=4)
+    tree = bulk_load(store, log, records, leaf_fill=1.0)
+    leaf_ids = tree.leaf_ids_in_key_order()
+    assert leaf_ids == sorted(leaf_ids)
+    assert leaf_ids == list(range(leaf_ids[0], leaf_ids[0] + len(leaf_ids)))

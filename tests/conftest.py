@@ -1,0 +1,60 @@
+"""Shared fixtures: small trees, stores and logs for the whole suite."""
+
+import pytest
+
+from repro.config import SidePointerKind, TreeConfig
+from repro.storage.store import StorageManager
+from repro.wal.log import LogManager
+
+
+def make_env(
+    leaf_capacity=8,
+    internal_capacity=8,
+    leaf_extent_pages=512,
+    internal_extent_pages=256,
+    side_pointers=SidePointerKind.NONE,
+    careful_writing=True,
+    buffer_pool_pages=128,
+):
+    """A (store, log) pair wired together (buffer pool respects WAL)."""
+    config = TreeConfig(
+        leaf_capacity=leaf_capacity,
+        internal_capacity=internal_capacity,
+        leaf_extent_pages=leaf_extent_pages,
+        internal_extent_pages=internal_extent_pages,
+        side_pointers=side_pointers,
+        careful_writing=careful_writing,
+        buffer_pool_pages=buffer_pool_pages,
+    )
+    store = StorageManager(config)
+    log = LogManager()
+    store.set_wal(log)
+    return store, log
+
+
+@pytest.fixture
+def env():
+    return make_env()
+
+
+@pytest.fixture
+def store(env):
+    return env[0]
+
+
+@pytest.fixture
+def log(env):
+    return env[1]
+
+
+# -- hypothesis profiles -------------------------------------------------
+#
+# The default profile keeps CI fast; `HYPOTHESIS_PROFILE=soak pytest tests/`
+# runs the property suites with a 10x example budget.
+import os
+
+from hypothesis import settings
+
+settings.register_profile("default", max_examples=50)
+settings.register_profile("soak", max_examples=500, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

@@ -1,0 +1,150 @@
+"""Crash injection *during* the concurrency simulation.
+
+A system failure hits while user transactions and the reorganizer are
+interleaved on the scheduler; recovery + forward recovery must restore a
+valid tree whose content reflects exactly the operations that had applied
+(the DES protocols auto-commit each single-operation transaction at the
+instant its engine call runs, so applied = committed).
+"""
+
+import pytest
+
+from repro.btree.protocols import updater_delete, updater_insert
+from repro.config import ReorgConfig, TreeConfig
+from repro.db import Database
+from repro.errors import CrashPoint
+from repro.reorg.protocols import ReorgProtocol, full_reorganization
+from repro.reorg.reorganizer import Reorganizer
+from repro.sim.crash import crash_recover
+from repro.sim.workload import build_sparse_tree
+from repro.storage.page import Record
+from repro.txn.scheduler import Scheduler
+from repro.wal.records import LeafDeleteRecord, LeafInsertRecord
+
+
+def make_db():
+    db = Database(
+        TreeConfig(
+            leaf_capacity=8,
+            internal_capacity=6,
+            leaf_extent_pages=1024,
+            internal_extent_pages=512,
+            buffer_pool_pages=128,
+        )
+    )
+    build_sparse_tree(db, n_records=600, fill_after=0.35)
+    db.flush()
+    db.checkpoint()
+    return db
+
+
+class FlushingLog:
+    """Context manager: every append is flushed (the crash keeps all)."""
+
+    def __init__(self, log):
+        self.log = log
+        self._original = None
+
+    def __enter__(self):
+        self._original = self.log.append
+
+        def flushing_append(record):
+            lsn = self._original(record)
+            self.log.flush()
+            return lsn
+
+        self.log.append = flushing_append
+        return self
+
+    def __exit__(self, *exc):
+        self.log.append = self._original
+
+
+@pytest.mark.parametrize("crash_time", [2.0, 6.0, 12.0])
+def test_crash_mid_simulation_recovers_consistently(crash_time):
+    db = make_db()
+    baseline = {r.key for r in db.tree().items()}
+    sched = Scheduler(db.locks, store=db.store, log=db.log, io_time=0.02)
+    protocol = ReorgProtocol(
+        db, "primary", ReorgConfig(), unit_pause=0.02, op_duration=0.2
+    )
+    sched.spawn(
+        full_reorganization(protocol), name="reorg", is_reorganizer=True
+    )
+    for i in range(80):
+        if i % 2 == 0:
+            sched.spawn(
+                updater_insert(db, "primary", Record(10_000 + i, "w")),
+                at=0.2 * i,
+            )
+        else:
+            victim = sorted(baseline)[i % len(baseline)]
+            sched.spawn(updater_delete(db, "primary", victim), at=0.2 * i)
+
+    with FlushingLog(db.log):
+        sched.run(until=crash_time)
+    # The power fails here: everything volatile is gone mid-flight.
+    recovery = crash_recover(db)
+    reorg = Reorganizer(db, db.tree(), ReorgConfig())
+    reorg.forward_recover(recovery)
+    tree = db.tree()
+    tree.validate()
+
+    # Applied-equals-committed: reconstruct the expected content from the
+    # stable log's leaf records (net effect per key).
+    expected = set(baseline)
+    for record in db.log.records_from(1):
+        if isinstance(record, LeafInsertRecord):
+            expected.add(record.record.key)
+        elif isinstance(record, LeafDeleteRecord):
+            expected.discard(record.record.key)
+    # CLR-compensated keys (undone work) net out through the same scan
+    # because CLRs are logged as inserts/deletes too... they are
+    # CompensationRecords, handled by redo; reconcile via the tree:
+    actual = {r.key for r in tree.items()}
+    # Every key the log net-inserted and never compensated must be present;
+    # the cheap sufficient check: actual is internally consistent with the
+    # log-derived set modulo compensations.
+    from repro.wal.records import CompensationRecord
+
+    for record in db.log.records_from(1):
+        if isinstance(record, CompensationRecord):
+            if record.is_insert:
+                expected.add(record.record.key)
+            else:
+                expected.discard(record.record.key)
+    assert actual == expected
+
+
+def test_system_continues_after_recovery():
+    """After the crash and recovery the same database serves new work and
+    can be reorganized again."""
+    db = make_db()
+    sched = Scheduler(db.locks, store=db.store, log=db.log, io_time=0.02)
+    protocol = ReorgProtocol(
+        db, "primary", ReorgConfig(), unit_pause=0.02, op_duration=0.2
+    )
+    sched.spawn(
+        full_reorganization(protocol), name="reorg", is_reorganizer=True
+    )
+    with FlushingLog(db.log):
+        sched.run(until=4.0)
+    recovery = crash_recover(db)
+    Reorganizer(db, db.tree(), ReorgConfig()).forward_recover(recovery)
+    # New epoch: fresh scheduler over the recovered database.
+    sched2 = Scheduler(db.locks, store=db.store, log=db.log, io_time=0.02)
+    protocol2 = ReorgProtocol(db, "primary", ReorgConfig())
+    sched2.spawn(
+        full_reorganization(protocol2), name="reorg2", is_reorganizer=True
+    )
+    for i in range(30):
+        sched2.spawn(
+            updater_insert(db, "primary", Record(50_000 + i, "post")),
+            at=0.1 * i,
+        )
+    sched2.run()
+    assert sched2.failed == []
+    tree = db.tree()
+    tree.validate()
+    for i in range(30):
+        assert tree.search(50_000 + i) is not None

@@ -1,0 +1,182 @@
+"""End-to-end lifecycle: years of database life, compressed.
+
+Cycles of workload churn, on-line reorganization under concurrency, crash,
+recovery, and more churn — asserting after every phase that the tree
+validates and contains exactly the model's records.
+"""
+
+import random
+
+import pytest
+
+from repro.btree.protocols import reader_search, updater_delete, updater_insert
+from repro.btree.stats import collect_stats
+from repro.config import ReorgConfig, TreeConfig
+from repro.db import Database
+from repro.errors import CrashPoint
+from repro.reorg.protocols import ReorgProtocol, full_reorganization
+from repro.reorg.reorganizer import Reorganizer
+from repro.sim.crash import LogCrashInjector, crash_recover
+from repro.storage.page import Record
+from repro.txn.scheduler import Scheduler
+from repro.txn.transaction import Transaction
+from repro.wal.records import CommitRecord, EndRecord
+
+
+def committed_op(db, tree, model, op, key):
+    txn = Transaction()
+    if op == "insert" and key not in model:
+        tree.insert(Record(key, f"v{key}"), txn)
+        model[key] = f"v{key}"
+    elif op == "delete" and key in model:
+        tree.delete(key, txn)
+        del model[key]
+    else:
+        return
+    db.log.append(CommitRecord(txn_id=txn.txn_id, prev_lsn=txn.last_lsn))
+    db.log.append(EndRecord(txn_id=txn.txn_id))
+
+
+def churn(db, tree, model, rng, rounds, key_space):
+    for _ in range(rounds):
+        op = "delete" if (model and rng.random() < 0.6) else "insert"
+        key = (
+            rng.choice(tuple(model)) if op == "delete" and model
+            else rng.randrange(key_space)
+        )
+        committed_op(db, tree, model, op, key)
+
+
+def check(db, model):
+    tree = db.tree()
+    tree.validate()
+    assert sorted(r.key for r in tree.items()) == sorted(model)
+    return tree
+
+
+class TestLifecycle:
+    def test_three_epochs_with_crashes(self):
+        rng = random.Random(2024)
+        db = Database(
+            TreeConfig(
+                leaf_capacity=8,
+                internal_capacity=6,
+                leaf_extent_pages=1024,
+                internal_extent_pages=512,
+                buffer_pool_pages=96,
+            )
+        )
+        model: dict[int, str] = {}
+        tree = db.bulk_load_tree([Record(k, f"v{k}") for k in range(800)])
+        model.update({k: f"v{k}" for k in range(800)})
+        config = ReorgConfig(target_fill=0.9, stable_point_interval=3)
+
+        for epoch in range(3):
+            # 1. churn
+            churn(db, db.tree(), model, rng, rounds=600, key_space=3000)
+            db.log.flush()
+            check(db, model)
+            # 2. crash mid-workload, recover
+            loser = Transaction()
+            tree = db.tree()
+            probe = max(model) + 1
+            tree.insert(Record(probe, "loser"), loser)
+            db.log.flush()
+            crash_recover(db)
+            check(db, model)
+            # 3. reorganize, crashing it the first time
+            crashed = False
+            try:
+                with LogCrashInjector(db.log, after_records=37 + epoch * 11):
+                    Reorganizer(db, db.tree(), config).run()
+            except CrashPoint:
+                crashed = True
+            if crashed:
+                recovery = crash_recover(db)
+                Reorganizer(db, db.tree(), config).forward_recover(recovery)
+                reorg = Reorganizer(db, db.tree(), config)
+                if db.store.get(db.tree().root_id).kind.value == "internal":
+                    reorg.run()
+            check(db, model)
+            # 4. checkpoint and carry on
+            db.checkpoint()
+        stats = collect_stats(db.tree())
+        assert stats.leaf_fill > 0.5
+        assert stats.disk_order_fraction == 1.0
+
+    def test_concurrent_epoch_then_synchronous_epoch(self):
+        """A DES epoch (protocols under contention) followed by synchronous
+        churn must compose cleanly on the same database."""
+        db = Database(
+            TreeConfig(
+                leaf_capacity=8,
+                internal_capacity=6,
+                leaf_extent_pages=1024,
+                internal_extent_pages=512,
+                buffer_pool_pages=128,
+            )
+        )
+        tree = db.bulk_load_tree(
+            [Record(k, "x") for k in range(600)], internal_fill=0.5
+        )
+        rng = random.Random(5)
+        for key in rng.sample(range(600), 400):
+            tree.delete(key)
+        model = {r.key: r.payload for r in tree.items()}
+
+        # Concurrent epoch.
+        sched = Scheduler(db.locks, store=db.store, log=db.log, io_time=0.02)
+        protocol = ReorgProtocol(
+            db, "primary", ReorgConfig(), unit_pause=0.02, op_duration=0.1
+        )
+        sched.spawn(
+            full_reorganization(protocol), name="reorg", is_reorganizer=True
+        )
+        inserts = [10_000 + i for i in range(40)]
+        deletes = rng.sample(sorted(model), 30)
+        for i, key in enumerate(inserts):
+            sched.spawn(
+                updater_insert(db, "primary", Record(key, "new")), at=0.3 * i
+            )
+        for i, key in enumerate(deletes):
+            sched.spawn(updater_delete(db, "primary", key), at=0.4 * i + 0.1)
+        for i, key in enumerate(list(model)[:30]):
+            sched.spawn(reader_search(db, "primary", key), at=0.25 * i)
+        sched.run()
+        assert sched.failed == []
+        for key in inserts:
+            model[key] = "new"
+        for key in deletes:
+            model.pop(key, None)
+        tree = check(db, model)
+
+        # Synchronous epoch on the switched tree.
+        for key in range(20_000, 20_100):
+            tree.insert(Record(key, "post"))
+            model[key] = "post"
+        Reorganizer(db, tree, ReorgConfig()).run()
+        check(db, model)
+
+    def test_repeated_reorganizations_are_stable(self):
+        """Reorganizing an already-reorganized tree is near-free and keeps
+        converging to the same compact shape."""
+        db = Database(
+            TreeConfig(
+                leaf_capacity=16,
+                internal_capacity=8,
+                leaf_extent_pages=1024,
+                internal_extent_pages=512,
+            )
+        )
+        tree = db.bulk_load_tree([Record(k) for k in range(2000)])
+        rng = random.Random(7)
+        for key in rng.sample(range(2000), 1400):
+            tree.delete(key)
+        config = ReorgConfig(target_fill=0.9)
+        first = Reorganizer(db, db.tree(), config).run()
+        assert first.pass1.units > 0
+        second = Reorganizer(db, db.tree(), config).run()
+        # Second run finds almost nothing to do.
+        assert second.pass1.units <= max(2, first.pass1.units // 10)
+        assert second.pass2.operations == 0
+        db.tree().validate()

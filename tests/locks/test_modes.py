@@ -1,0 +1,138 @@
+"""Unit tests for Table 1: lock mode compatibility."""
+
+import pytest
+
+from repro.errors import LockProtocolViolation
+from repro.locks.modes import (
+    GRANTED_ORDER,
+    LockMode,
+    REQUESTED_ORDER,
+    can_upgrade,
+    compatibility_cell,
+    compatible,
+    format_table,
+)
+
+IS, IX, S, X, R, RX, RS = (
+    LockMode.IS, LockMode.IX, LockMode.S, LockMode.X,
+    LockMode.R, LockMode.RX, LockMode.RS,
+)
+
+
+class TestPaperStatedCells:
+    """Each test pins a cell the paper states in prose."""
+
+    def test_r_is_compatible_with_s_both_directions(self):
+        # "It is compatible with the S lock." (section 4, on R)
+        assert compatible(R, S) is True
+        assert compatible(S, R) is True
+
+    def test_rx_is_not_compatible_with_any_defined_mode(self):
+        # "The RX mode is not compatible with any lock mode."
+        for requested in (IS, IX, S, X):
+            assert compatible(RX, requested) is False
+        for granted in (IS, IX, S, X):
+            assert compatible(granted, RX) is False
+
+    def test_rs_is_not_compatible_with_r(self):
+        # "The RS mode is not compatible with R."
+        assert compatible(R, RS) is False
+
+    def test_rs_blocked_by_x_on_base_page(self):
+        # The reorganizer holds X on the base page while posting keys; a
+        # waiting RS must not succeed during that window.
+        assert compatible(X, RS) is False
+
+    def test_rs_compatible_with_reader_s(self):
+        # RS waits only for the reorganizer; other readers don't block it.
+        assert compatible(S, RS) is True
+
+    def test_updater_x_waits_for_reorganizer_r(self):
+        # Section 4.1.3: the updater "will wait for a reorganizer when it
+        # attempts to get an X-lock on a base page".
+        assert compatible(R, X) is False
+
+    def test_classical_intention_cells(self):
+        assert compatible(IS, IS) and compatible(IS, IX) and compatible(IS, S)
+        assert compatible(IX, IX) and compatible(IX, IS)
+        assert not compatible(IX, S)
+        assert not compatible(IS, X)
+        assert not compatible(S, IX)
+        assert compatible(S, S)
+
+    def test_x_conflicts_with_everything(self):
+        for requested in REQUESTED_ORDER:
+            assert compatible(X, requested) is False
+
+
+class TestBlankCells:
+    """Blank cells raise: the pairing is a protocol violation."""
+
+    @pytest.mark.parametrize(
+        "granted,requested",
+        [
+            (IS, R), (IS, RS),
+            (IX, R), (IX, RS),
+            (R, IS), (R, IX), (R, R), (R, RX),
+            (RX, R), (RX, RX), (RX, RS),
+        ],
+    )
+    def test_blank_cell_raises(self, granted, requested):
+        with pytest.raises(LockProtocolViolation):
+            compatible(granted, requested)
+
+    def test_rs_is_never_a_granted_mode(self):
+        with pytest.raises(LockProtocolViolation):
+            compatible(RS, S)
+
+    def test_compatibility_cell_reports_blanks_as_none(self):
+        assert compatibility_cell(R, R) is None
+        assert compatibility_cell(RS, S) is None
+        assert compatibility_cell(S, R) is True
+        assert compatibility_cell(X, S) is False
+
+
+class TestMatrixProperties:
+    def test_every_cell_is_yes_no_or_blank(self):
+        for granted in GRANTED_ORDER:
+            for requested in REQUESTED_ORDER:
+                cell = compatibility_cell(granted, requested)
+                assert cell in (True, False, None)
+
+    def test_yes_cells_are_symmetric_where_both_defined(self):
+        """If A is compatible with B and the reverse cell is defined, it
+        agrees: compatibility is a symmetric relation."""
+        for granted in GRANTED_ORDER:
+            for requested in GRANTED_ORDER:  # both must be holdable
+                forward = compatibility_cell(granted, requested)
+                backward = compatibility_cell(requested, granted)
+                if forward is not None and backward is not None:
+                    assert forward == backward, (granted, requested)
+
+    def test_format_table_mentions_every_mode(self):
+        table = format_table()
+        for mode in REQUESTED_ORDER:
+            assert mode.value in table
+        assert "Yes" in table and "No" in table
+
+
+class TestUpgradeLattice:
+    def test_reorganizer_upgrade_r_to_x(self):
+        assert can_upgrade(R, X)
+
+    def test_classical_upgrades(self):
+        assert can_upgrade(IS, IX)
+        assert can_upgrade(IS, S)
+        assert can_upgrade(IX, X)
+        assert can_upgrade(S, X)
+
+    def test_identity_upgrade(self):
+        assert can_upgrade(S, S)
+
+    def test_downgrades_rejected(self):
+        assert not can_upgrade(X, S)
+        assert not can_upgrade(S, IS)
+
+    def test_no_upgrades_into_rx(self):
+        assert not can_upgrade(X, RX)
+        assert not can_upgrade(S, RX)

@@ -1,0 +1,176 @@
+"""Tests for workload generation, the driver, and metrics collection."""
+
+import pytest
+
+from repro.btree.stats import collect_stats
+from repro.config import ReorgConfig, TreeConfig
+from repro.db import Database
+from repro.sim.driver import ExperimentSetup, run_concurrent_experiment
+from repro.sim.metrics import RunMetrics, collect_metrics
+from repro.sim.workload import (
+    KeyPicker,
+    WorkloadConfig,
+    build_sparse_tree,
+    plan_workload,
+)
+
+
+def small_tree_config():
+    return TreeConfig(
+        leaf_capacity=16,
+        internal_capacity=8,
+        leaf_extent_pages=512,
+        internal_extent_pages=256,
+        buffer_pool_pages=256,
+    )
+
+
+class TestSparseTreeBuilder:
+    def test_fill_after_respected(self):
+        db = Database(small_tree_config())
+        tree = build_sparse_tree(db, n_records=1000, fill_after=0.3)
+        stats = collect_stats(tree)
+        assert stats.leaf_fill == pytest.approx(0.3, abs=0.08)
+        tree.validate()
+
+    def test_clustered_deletes(self):
+        db = Database(small_tree_config())
+        tree = build_sparse_tree(
+            db, n_records=1000, fill_after=0.5, clustered=True
+        )
+        tree.validate()
+        assert tree.record_count() == pytest.approx(500, abs=20)
+
+    def test_seed_determinism(self):
+        def build(seed):
+            db = Database(small_tree_config())
+            tree = build_sparse_tree(
+                db, n_records=500, fill_after=0.4, seed=seed
+            )
+            return [r.key for r in tree.items()]
+
+        assert build(3) == build(3)
+        assert build(3) != build(4)
+
+    def test_invalid_fill_rejected(self):
+        db = Database(small_tree_config())
+        with pytest.raises(ValueError):
+            build_sparse_tree(db, n_records=10, fill_after=0.0)
+
+
+class TestWorkloadPlanning:
+    def test_plan_is_deterministic(self):
+        config = WorkloadConfig(n_transactions=50, seed=9)
+        assert plan_workload(config) == plan_workload(config)
+
+    def test_fractions_validated(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(read_fraction=0.9, scan_fraction=0.9)
+
+    def test_mix_roughly_matches_fractions(self):
+        config = WorkloadConfig(
+            n_transactions=1000,
+            read_fraction=0.5,
+            scan_fraction=0.1,
+            insert_fraction=0.2,
+            delete_fraction=0.2,
+        )
+        plans = plan_workload(config)
+        kinds = [p.kind for p in plans]
+        assert kinds.count("read") == pytest.approx(500, abs=60)
+        assert kinds.count("insert") == pytest.approx(200, abs=50)
+
+    def test_arrivals_are_increasing(self):
+        plans = plan_workload(WorkloadConfig(n_transactions=100))
+        arrivals = [p.arrival for p in plans]
+        assert arrivals == sorted(arrivals)
+
+    def test_zipf_concentrates_on_low_keys(self):
+        import random
+
+        uniform = KeyPicker(1000, 0.0, random.Random(1))
+        zipf = KeyPicker(1000, 1.2, random.Random(1))
+        uniform_mean = sum(uniform.pick() for _ in range(2000)) / 2000
+        zipf_mean = sum(zipf.pick() for _ in range(2000)) / 2000
+        assert zipf_mean < uniform_mean / 2
+
+
+def quick_setup(n_transactions=60, **kwargs):
+    defaults = dict(
+        tree_config=small_tree_config(),
+        reorg_config=ReorgConfig(target_fill=0.9),
+        workload=WorkloadConfig(
+            n_transactions=n_transactions, key_space=1500, mean_interarrival=0.3
+        ),
+        n_records=1500,
+        fill_after=0.3,
+    )
+    defaults.update(kwargs)
+    return ExperimentSetup(**defaults)
+
+
+class TestDriver:
+    def test_workload_alone_completes(self):
+        db, metrics = run_concurrent_experiment(quick_setup(), reorganizer="none")
+        assert metrics.completed == metrics.user_txns
+        assert metrics.aborted == 0
+        db.tree().validate()
+
+    def test_paper_reorganizer_with_workload(self):
+        db, metrics = run_concurrent_experiment(quick_setup(), reorganizer="paper")
+        assert metrics.completed == metrics.user_txns
+        assert metrics.reorg_elapsed > 0
+        tree = db.tree()
+        tree.validate()
+        assert collect_stats(tree).leaf_fill > 0.5
+
+    def test_smith_reorganizer_with_workload(self):
+        db, metrics = run_concurrent_experiment(
+            quick_setup(), reorganizer="smith90"
+        )
+        assert metrics.completed == metrics.user_txns
+        db.tree().validate()
+
+    def test_paper_blocks_fewer_transactions_than_smith(self):
+        """The headline of E2 / paper section 8."""
+        _, paper = run_concurrent_experiment(
+            quick_setup(n_transactions=120), reorganizer="paper"
+        )
+        _, smith = run_concurrent_experiment(
+            quick_setup(n_transactions=120), reorganizer="smith90"
+        )
+        assert paper.blocked_txns < smith.blocked_txns
+        assert paper.mean_wait < smith.mean_wait
+
+    def test_unknown_reorganizer_rejected(self):
+        with pytest.raises(ValueError):
+            run_concurrent_experiment(quick_setup(), reorganizer="bogus")
+
+    def test_runs_are_deterministic(self):
+        _, a = run_concurrent_experiment(quick_setup(), reorganizer="paper")
+        _, b = run_concurrent_experiment(quick_setup(), reorganizer="paper")
+        assert a.mean_wait == b.mean_wait
+        assert a.makespan == b.makespan
+        assert a.blocked_txns == b.blocked_txns
+
+
+class TestMetrics:
+    def test_percentiles_and_throughput(self):
+        from repro.txn.scheduler import Scheduler
+        from repro.locks.manager import LockManager
+        from repro.txn.ops import Think
+
+        sched = Scheduler(LockManager())
+
+        def worker(duration):
+            yield Think(duration)
+            return duration
+
+        for d in (1.0, 2.0, 3.0, 4.0):
+            sched.spawn(worker(d))
+        sched.run()
+        metrics = collect_metrics(sched)
+        assert metrics.completed == 4
+        assert metrics.mean_latency == pytest.approx(2.5)
+        assert metrics.makespan == pytest.approx(4.0)
+        assert metrics.throughput == pytest.approx(1.0)

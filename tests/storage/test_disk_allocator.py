@@ -1,0 +1,176 @@
+"""Unit tests for the simulated disk and the free-space map."""
+
+import pytest
+
+from repro.errors import (
+    ExtentFullError,
+    PageAlreadyFreeError,
+    PageNotAllocatedError,
+    StorageError,
+)
+from repro.storage.allocator import FreeSpaceMap
+from repro.storage.disk import Extent, SimulatedDisk
+from repro.storage.page import LeafPage, Record
+
+
+def make_disk(leaf_pages=16, internal_pages=8, seek_cost=10.0):
+    return SimulatedDisk(
+        [Extent("leaf", 0, leaf_pages), Extent("internal", leaf_pages, internal_pages)],
+        seek_cost=seek_cost,
+    )
+
+
+class TestSimulatedDisk:
+    def test_extent_layout_must_be_contiguous(self):
+        with pytest.raises(StorageError):
+            SimulatedDisk([Extent("a", 0, 4), Extent("b", 5, 4)])
+
+    def test_duplicate_extent_names_rejected(self):
+        with pytest.raises(StorageError):
+            SimulatedDisk([Extent("a", 0, 4), Extent("a", 4, 4)])
+
+    def test_needs_one_extent(self):
+        with pytest.raises(StorageError):
+            SimulatedDisk([])
+
+    def test_extent_lookup(self):
+        disk = make_disk()
+        assert disk.extent("leaf").size == 16
+        assert disk.extent_of(17).name == "internal"
+        with pytest.raises(StorageError):
+            disk.extent("nope")
+        with pytest.raises(StorageError):
+            disk.extent_of(999)
+
+    def test_write_then_read_round_trips_a_clone(self):
+        disk = make_disk()
+        page = LeafPage(3, 4)
+        page.insert(Record(1, "x"))
+        disk.write(page)
+        page.insert(Record(2, "y"))  # mutate after write; must not leak
+        stable = disk.read(3)
+        assert stable.keys() == [1]
+
+    def test_read_unwritten_page_raises(self):
+        disk = make_disk()
+        with pytest.raises(PageNotAllocatedError):
+            disk.read(0)
+
+    def test_out_of_range_page_id_raises(self):
+        disk = make_disk()
+        with pytest.raises(StorageError):
+            disk.read(1000)
+        with pytest.raises(StorageError):
+            disk.write(LeafPage(1000, 4))
+
+    def test_sequential_vs_seek_cost_model(self):
+        disk = make_disk(seek_cost=10.0)
+        for pid in (0, 1, 2, 5):
+            disk.write(LeafPage(pid, 4))
+        disk.read(0)  # first read: a seek
+        disk.read(1)  # sequential
+        disk.read(2)  # sequential
+        disk.read(5)  # seek
+        assert disk.stats.reads == 4
+        assert disk.stats.sequential_reads == 2
+        assert disk.stats.seeks == 2
+        assert disk.stats.read_cost == pytest.approx(10 + 1 + 1 + 10)
+
+    def test_reset_read_position_forces_seek(self):
+        disk = make_disk()
+        disk.write(LeafPage(0, 4))
+        disk.write(LeafPage(1, 4))
+        disk.read(0)
+        disk.reset_read_position()
+        disk.read(1)
+        assert disk.stats.seeks == 2
+
+    def test_stats_reset(self):
+        disk = make_disk()
+        disk.write(LeafPage(0, 4))
+        disk.read(0)
+        disk.stats.reset()
+        assert disk.stats.reads == 0
+        assert disk.stats.read_cost == 0.0
+
+    def test_erase_removes_image(self):
+        disk = make_disk()
+        disk.write(LeafPage(0, 4))
+        disk.erase(0)
+        assert not disk.has_image(0)
+
+    def test_peek_does_not_charge_io(self):
+        disk = make_disk()
+        disk.write(LeafPage(0, 4))
+        disk.stats.reset()
+        disk.peek(0)
+        assert disk.stats.reads == 0
+
+
+class TestFreeSpaceMap:
+    def setup_method(self):
+        self.disk = make_disk()
+        self.fsm = FreeSpaceMap(self.disk, ["leaf", "internal"])
+
+    def test_everything_starts_free(self):
+        assert self.fsm.free_count("leaf") == 16
+        assert self.fsm.free_count("internal") == 8
+        assert self.fsm.allocated_count("leaf") == 0
+
+    def test_allocate_smallest_first(self):
+        assert self.fsm.allocate("leaf") == 0
+        assert self.fsm.allocate("leaf") == 1
+        assert self.fsm.allocated_page_ids("leaf") == [0, 1]
+
+    def test_allocate_specific_page(self):
+        assert self.fsm.allocate("leaf", 5) == 5
+        assert not self.fsm.is_free(5)
+        with pytest.raises(StorageError):
+            self.fsm.allocate("leaf", 5)
+
+    def test_extent_exhaustion(self):
+        for _ in range(8):
+            self.fsm.allocate("internal")
+        with pytest.raises(ExtentFullError):
+            self.fsm.allocate("internal")
+
+    def test_free_returns_page_and_erases_image(self):
+        pid = self.fsm.allocate("leaf")
+        self.disk.write(LeafPage(pid, 4))
+        self.fsm.free(pid)
+        assert self.fsm.is_free(pid)
+        assert not self.disk.has_image(pid)
+
+    def test_double_free_raises(self):
+        pid = self.fsm.allocate("leaf")
+        self.fsm.free(pid)
+        with pytest.raises(PageAlreadyFreeError):
+            self.fsm.free(pid)
+
+    def test_first_free_in_range_implements_paper_heuristic(self):
+        # Allocate pages 0..9; then free 2, 5, 7.
+        for _ in range(10):
+            self.fsm.allocate("leaf")
+        for pid in (2, 5, 7):
+            self.fsm.free(pid)
+        # L=2, C=9: first free page strictly between them is 5.
+        assert self.fsm.first_free_in_range("leaf", 2, 9) == 5
+        # L=5, C=7: nothing strictly between.
+        assert self.fsm.first_free_in_range("leaf", 5, 7) is None
+        # L=-1 (nothing finished yet): picks 2.
+        assert self.fsm.first_free_in_range("leaf", -1, 9) == 2
+
+    def test_first_free(self):
+        assert self.fsm.first_free("leaf") == 0
+        for _ in range(16):
+            self.fsm.allocate("leaf")
+        assert self.fsm.first_free("leaf") is None
+
+    def test_mark_allocated_is_idempotent(self):
+        self.fsm.mark_allocated(3)
+        self.fsm.mark_allocated(3)
+        assert not self.fsm.is_free(3)
+
+    def test_extent_for_unmanaged_page_raises(self):
+        with pytest.raises(StorageError):
+            self.fsm.extent_for(9999)

@@ -1,0 +1,98 @@
+"""Unit tests for the StorageManager facade."""
+
+import pytest
+
+from repro.config import TreeConfig
+from repro.errors import StorageError
+from repro.storage.page import PageKind, Record
+from repro.storage.store import INTERNAL_EXTENT, LEAF_EXTENT, StorageManager
+
+
+def make_store():
+    return StorageManager(
+        TreeConfig(
+            leaf_capacity=4,
+            internal_capacity=4,
+            leaf_extent_pages=32,
+            internal_extent_pages=16,
+        )
+    )
+
+
+class TestAllocation:
+    def test_leaf_and_internal_extents_are_separate(self):
+        store = make_store()
+        leaf = store.allocate_leaf()
+        internal = store.allocate_internal(level=1)
+        assert store.disk.extent_of(leaf.page_id).name == LEAF_EXTENT
+        assert store.disk.extent_of(internal.page_id).name == INTERNAL_EXTENT
+
+    def test_allocate_specific_leaf(self):
+        store = make_store()
+        leaf = store.allocate_leaf(5)
+        assert leaf.page_id == 5
+        assert not store.free_map.is_free(5)
+
+    def test_internal_pages_carry_their_level(self):
+        store = make_store()
+        page = store.allocate_internal(level=3)
+        assert store.get_internal(page.page_id).level == 3
+
+    def test_deallocate_returns_page(self):
+        store = make_store()
+        leaf = store.allocate_leaf()
+        store.flush_all()
+        store.deallocate(leaf.page_id)
+        assert store.free_map.is_free(leaf.page_id)
+        assert not store.disk.has_image(leaf.page_id)
+
+
+class TestTypedAccess:
+    def test_get_leaf_rejects_internal(self):
+        store = make_store()
+        page = store.allocate_internal(level=1)
+        with pytest.raises(StorageError):
+            store.get_leaf(page.page_id)
+
+    def test_get_internal_rejects_leaf(self):
+        store = make_store()
+        page = store.allocate_leaf()
+        with pytest.raises(StorageError):
+            store.get_internal(page.page_id)
+
+    def test_get_returns_buffered_object(self):
+        store = make_store()
+        leaf = store.allocate_leaf()
+        leaf.insert(Record(1))
+        again = store.get(leaf.page_id)
+        assert again is leaf  # the same in-pool object
+
+
+class TestCrashRebuild:
+    def test_rebuild_free_map_matches_stable_images(self):
+        store = make_store()
+        kept = store.allocate_leaf()
+        lost = store.allocate_leaf()
+        store.buffer.flush_page(kept.page_id)
+        # `lost` never reaches the disk.
+        store.crash()
+        store.rebuild_free_map_from_disk()
+        assert not store.free_map.is_free(kept.page_id)
+        assert store.free_map.is_free(lost.page_id)
+
+    def test_rebuilt_map_never_hands_out_live_pages(self):
+        store = make_store()
+        pages = [store.allocate_leaf() for _ in range(5)]
+        store.flush_all()
+        store.crash()
+        store.rebuild_free_map_from_disk()
+        fresh = store.allocate_leaf()
+        assert fresh.page_id not in {p.page_id for p in pages}
+
+    def test_force_writes_specific_pages(self):
+        store = make_store()
+        a = store.allocate_leaf()
+        b = store.allocate_leaf()
+        store.force([a.page_id])
+        assert store.disk.has_image(a.page_id)
+        assert not store.disk.has_image(b.page_id)

@@ -1,0 +1,109 @@
+"""Scheduler.abort_transaction — the switch's straggler-abort mechanism."""
+
+import pytest
+
+from repro.errors import TransactionAborted
+from repro.locks.manager import LockManager
+from repro.locks.modes import LockMode
+from repro.locks.resources import page_lock
+from repro.txn.ops import Acquire, ReleaseAll, Think
+from repro.txn.scheduler import Scheduler
+from repro.txn.transaction import TxnState
+
+A = page_lock(1)
+
+
+def test_abort_wakes_a_sleeping_transaction_immediately():
+    lm = LockManager()
+    sched = Scheduler(lm)
+
+    def sleeper():
+        yield Acquire(A, LockMode.S)
+        yield Think(10_000.0)
+        return "never"
+
+    def killer(target):
+        yield Think(1.0)
+        ok = sched.abort_transaction(target["txn"], "test abort")
+        assert ok
+
+    target = {}
+    target["txn"] = sched.spawn(sleeper(), name="sleeper")
+    sched.spawn(killer(target), name="killer")
+    sched.run()
+    assert target["txn"].state is TxnState.ABORTED
+    # Its locks were released at abort time, not at timer expiry.
+    assert lm.holders_of(A) == {}
+    assert target["txn"].metrics.end_time == pytest.approx(1.0)
+
+
+def test_abort_wakes_a_lock_waiter():
+    lm = LockManager()
+    sched = Scheduler(lm)
+
+    def holder():
+        yield Acquire(A, LockMode.X)
+        yield Think(10_000.0)
+
+    def waiter():
+        yield Think(0.5)
+        yield Acquire(A, LockMode.X)
+        return "never"
+
+    def killer(target):
+        yield Think(1.0)
+        sched.abort_transaction(target["txn"])
+
+    target = {}
+    holder_txn = sched.spawn(holder(), name="holder")
+    target["txn"] = sched.spawn(waiter(), name="waiter")
+    kill_txn = sched.spawn(killer(target), name="killer")
+    # Also abort the holder so the run drains.
+    def killer2():
+        yield Think(2.0)
+        sched.abort_transaction(holder_txn)
+
+    sched.spawn(killer2(), name="killer2")
+    sched.run()
+    assert target["txn"].state is TxnState.ABORTED
+    assert holder_txn.state is TxnState.ABORTED
+    assert lm.waiters_of(A) == []
+    del kill_txn
+
+
+def test_abort_of_finished_transaction_is_a_noop():
+    sched = Scheduler(LockManager())
+
+    def quick():
+        yield Think(0.1)
+        return 1
+
+    txn = sched.spawn(quick())
+    sched.run()
+    assert not sched.abort_transaction(txn)
+    assert txn.state is TxnState.COMMITTED
+
+
+def test_protocol_can_catch_a_forced_abort():
+    sched = Scheduler(LockManager())
+    outcome = {}
+
+    def resilient():
+        try:
+            yield Think(100.0)
+        except TransactionAborted:
+            outcome["caught"] = True
+            yield ReleaseAll()
+            return "cleaned up"
+
+    def killer(target):
+        yield Think(1.0)
+        sched.abort_transaction(target["txn"])
+
+    target = {}
+    target["txn"] = sched.spawn(resilient(), name="resilient")
+    sched.spawn(killer(target))
+    sched.run()
+    assert outcome.get("caught")
+    assert target["txn"].state is TxnState.COMMITTED
+    assert any(r == "cleaned up" for _, r in sched.completed)

@@ -1,0 +1,247 @@
+"""Direct tests of the do/redo interpreter (wal/apply.py)."""
+
+import pytest
+
+from repro.errors import LogError
+from repro.storage.page import InternalPage, LeafPage, Record
+from repro.wal.apply import apply_record, is_redoable
+from repro.wal.records import (
+    AllocRecord,
+    BaseEntryInsertRecord,
+    BaseEntryUpdateRecord,
+    CommitRecord,
+    FreeRecord,
+    InternalFormatRecord,
+    LeafDeleteRecord,
+    LeafFormatRecord,
+    LeafInsertRecord,
+    ReorgModifyRecord,
+    ReorgMoveInRecord,
+    ReorgMoveOutRecord,
+    ReorgSwapRecord,
+)
+
+from tests.conftest import make_env
+
+
+def logged(log, record):
+    log.append(record)
+    return record
+
+
+class TestDoEqualsRedo:
+    def test_leaf_insert_do_then_redo_is_idempotent(self):
+        store, log = make_env()
+        page = store.allocate_leaf()
+        record = logged(log, LeafInsertRecord(page_id=page.page_id, record=Record(5, "v")))
+        apply_record(store, record)
+        assert store.get_leaf(page.page_id).contains(5)
+        # Redo skips: the page LSN already covers the record.
+        apply_record(store, record, redo=True)
+        assert store.get_leaf(page.page_id).num_items == 1
+
+    def test_redo_applies_when_page_is_stale(self):
+        store, log = make_env()
+        page = store.allocate_leaf()
+        store.flush_all()  # stale image with page_lsn 0
+        record = logged(log, LeafInsertRecord(page_id=page.page_id, record=Record(5)))
+        apply_record(store, record)
+        store.crash()  # lose the in-memory application
+        apply_record(store, record, redo=True)
+        assert store.get_leaf(page.page_id).contains(5)
+
+    def test_format_records_recreate_missing_pages(self):
+        store, log = make_env()
+        pid = store.free_map.allocate("leaf")  # allocated, never materialized
+        record = logged(
+            log, LeafFormatRecord(page_id=pid, records=(Record(1), Record(2)))
+        )
+        apply_record(store, record, redo=True)
+        assert store.get_leaf(pid).keys() == [1, 2]
+        assert not store.free_map.is_free(pid)
+
+    def test_internal_format_preserves_low_mark(self):
+        store, log = make_env()
+        page = store.allocate_internal(level=1)
+        record = logged(
+            log,
+            InternalFormatRecord(
+                page_id=page.page_id, level=1, entries=((10, 1), (20, 2)),
+                low_mark=10,
+            ),
+        )
+        apply_record(store, record)
+        got = store.get_internal(page.page_id)
+        assert got.low_mark == 10
+        assert got.entries == ((10, 1), (20, 2))
+
+    def test_non_redoable_record_raises(self):
+        store, log = make_env()
+        with pytest.raises(LogError):
+            apply_record(store, CommitRecord(txn_id=1))
+        assert not is_redoable(CommitRecord(txn_id=1))
+
+
+class TestMoveStash:
+    def setup_pages(self):
+        store, log = make_env()
+        src = store.allocate_leaf()
+        for k in (1, 2, 3):
+            src.insert(Record(k, f"v{k}"))
+        dst = store.allocate_leaf()
+        return store, log, src, dst
+
+    def test_keys_only_move_threads_records_through_stash(self):
+        store, log, src, dst = self.setup_pages()
+        stash = {}
+        out = logged(log, ReorgMoveOutRecord(
+            unit_id=1, org_page=src.page_id, dest_page=dst.page_id,
+            keys=(1, 2, 3),
+        ))
+        apply_record(store, out, stash=stash)
+        assert src.is_empty
+        assert stash[out.lsn][0].payload == "v1"
+        into = logged(log, ReorgMoveInRecord(
+            unit_id=1, org_page=src.page_id, dest_page=dst.page_id,
+            keys=(1, 2, 3), move_out_lsn=out.lsn,
+        ))
+        apply_record(store, into, stash=stash)
+        assert dst.keys() == [1, 2, 3]
+        assert dst.get(2).payload == "v2"
+        assert stash == {}
+
+    def test_move_in_without_stash_raises_in_normal_mode(self):
+        store, log, src, dst = self.setup_pages()
+        into = logged(log, ReorgMoveInRecord(
+            unit_id=1, org_page=src.page_id, dest_page=dst.page_id,
+            keys=(1,), move_out_lsn=999,
+        ))
+        with pytest.raises(LogError):
+            apply_record(store, into, stash={})
+
+    def test_move_in_superseded_during_redo_is_skipped(self):
+        """A keys-only MoveIn whose dest was freed later in the log must be
+        skipped during redo, not resurrected."""
+        store, log, src, dst = self.setup_pages()
+        dest_pid = dst.page_id
+        into = logged(log, ReorgMoveInRecord(
+            unit_id=1, org_page=src.page_id, dest_page=dest_pid,
+            keys=(1,), move_out_lsn=999,
+        ))
+        store.deallocate(dest_pid)  # freed later; no stable image
+        apply_record(store, into, redo=True, stash={})
+        assert store.free_map.is_free(dest_pid)
+
+
+class TestSwapRedo:
+    def test_swap_with_careful_writing_uses_peer_page(self):
+        store, log = make_env(careful_writing=True)
+        a = store.allocate_leaf()
+        b = store.allocate_leaf()
+        a.replace_all([Record(1, "a1")])
+        b.replace_all([Record(9, "b9")])
+        swap = logged(log, ReorgSwapRecord(
+            unit_id=1, page_a=a.page_id, page_b=b.page_id,
+            records_a=(Record(1, "a1"),), keys_b=(9,),
+        ))
+        apply_record(store, swap)
+        assert store.get_leaf(a.page_id).keys() == [9]
+        assert store.get_leaf(b.page_id).keys() == [1]
+
+    def test_swap_redo_half_applied(self):
+        """A was flushed post-swap, B was not: redo must fix only B."""
+        store, log = make_env(careful_writing=True)
+        a = store.allocate_leaf()
+        b = store.allocate_leaf()
+        a.replace_all([Record(1, "a1")])
+        b.replace_all([Record(9, "b9")])
+        store.flush_all()
+        swap = logged(log, ReorgSwapRecord(
+            unit_id=1, page_a=a.page_id, page_b=b.page_id,
+            records_a=(Record(1, "a1"),), keys_b=(9,),
+        ))
+        apply_record(store, swap)
+        store.buffer.flush_page(a.page_id)  # the A-before-B write order
+        # Crash: B's post-swap image is lost.
+        store.crash()
+        apply_record(store, swap, redo=True)
+        assert store.get_leaf(a.page_id).keys() == [9]
+        assert store.get_leaf(b.page_id).keys() == [1]
+
+    def test_swap_redo_without_careful_writing_uses_logged_b(self):
+        store, log = make_env(careful_writing=False)
+        a = store.allocate_leaf()
+        b = store.allocate_leaf()
+        a.replace_all([Record(1, "a1")])
+        b.replace_all([Record(9, "b9")])
+        store.flush_all()
+        swap = logged(log, ReorgSwapRecord(
+            unit_id=1, page_a=a.page_id, page_b=b.page_id,
+            records_a=(Record(1, "a1"),), keys_b=(9,),
+            records_b=(Record(9, "b9"),),
+        ))
+        apply_record(store, swap)
+        store.crash()  # neither write reached disk
+        apply_record(store, swap, redo=True)
+        assert store.get_leaf(a.page_id).keys() == [9]
+        assert store.get_leaf(b.page_id).keys() == [1]
+
+
+class TestStructuralRecords:
+    def test_modify_insert_and_remove_forms(self):
+        store, log = make_env()
+        base = store.allocate_internal(level=1)
+        base.insert_entry(10, 1)
+        # Insert form: org_child == -1.
+        record = logged(log, ReorgModifyRecord(
+            unit_id=1, base_page=base.page_id, org_key=0, org_child=-1,
+            new_key=20, new_child=2,
+        ))
+        apply_record(store, record)
+        assert store.get_internal(base.page_id).entries == ((10, 1), (20, 2))
+        # Remove form: new_child == -1.
+        record = logged(log, ReorgModifyRecord(
+            unit_id=1, base_page=base.page_id, org_key=10, org_child=1,
+            new_key=0, new_child=-1,
+        ))
+        apply_record(store, record)
+        assert store.get_internal(base.page_id).entries == ((20, 2),)
+
+    def test_free_redo_respects_reincarnation(self):
+        """A FreeRecord must not erase a page image written by a *later*
+        incarnation of the same page id."""
+        store, log = make_env()
+        page = store.allocate_leaf()
+        pid = page.page_id
+        free = logged(log, FreeRecord(page_id=pid))
+        # Reincarnation: realloc + format with a higher LSN, flushed.
+        store.deallocate(pid)
+        store.allocate_leaf(pid)
+        fmt = logged(log, LeafFormatRecord(page_id=pid, records=(Record(7),)))
+        apply_record(store, fmt)
+        store.flush_all()
+        apply_record(store, free, redo=True)
+        assert not store.free_map.is_free(pid)
+        assert store.get_leaf(pid).keys() == [7]
+
+    def test_base_entry_update_redo(self):
+        store, log = make_env()
+        base = store.allocate_internal(level=1)
+        base.insert_entry(10, 1)
+        store.flush_all()
+        record = logged(log, BaseEntryUpdateRecord(
+            page_id=base.page_id, org_key=10, org_child=1,
+            new_key=5, new_child=1,
+        ))
+        apply_record(store, record)
+        store.crash()
+        apply_record(store, record, redo=True)
+        assert store.get_internal(base.page_id).entries == ((5, 1),)
+
+    def test_alloc_redo_marks_page_allocated(self):
+        store, log = make_env()
+        pid = 3
+        record = logged(log, AllocRecord(page_id=pid, kind="leaf"))
+        assert store.free_map.is_free(pid)
+        apply_record(store, record, redo=True)
+        assert not store.free_map.is_free(pid)

@@ -1,0 +1,125 @@
+"""Unit tests for the reorg progress table (paper section 5)."""
+
+import pytest
+
+from repro.errors import ReorgError
+from repro.wal.progress import NO_KEY_YET, ReorgProgressTable
+
+
+class TestLifecycle:
+    def test_initial_state_has_only_lk(self):
+        table = ReorgProgressTable()
+        assert table.largest_finished_key == NO_KEY_YET
+        assert not table.unit_in_flight
+        assert table.begin_lsn == 0
+
+    def test_unit_start_records_begin_lsn(self):
+        table = ReorgProgressTable()
+        table.unit_started(1, begin_lsn=10)
+        assert table.unit_in_flight
+        assert table.begin_lsn == 10
+        assert table.recent_lsn == 10
+        assert table.unit_id == 1
+
+    def test_logging_advances_recent_lsn(self):
+        table = ReorgProgressTable()
+        table.unit_started(1, begin_lsn=10)
+        table.unit_logged(11)
+        table.unit_logged(15)
+        assert table.recent_lsn == 15
+        assert table.begin_lsn == 10
+
+    def test_recent_lsn_must_advance(self):
+        table = ReorgProgressTable()
+        table.unit_started(1, begin_lsn=10)
+        with pytest.raises(ReorgError):
+            table.unit_logged(10)
+
+    def test_finish_advances_lk_and_clears_lsns(self):
+        table = ReorgProgressTable()
+        table.unit_started(1, begin_lsn=10)
+        table.unit_finished(largest_key=500)
+        assert table.largest_finished_key == 500
+        assert not table.unit_in_flight
+
+    def test_lk_never_regresses(self):
+        table = ReorgProgressTable()
+        table.unit_started(1, begin_lsn=10)
+        table.unit_finished(largest_key=500)
+        table.unit_started(2, begin_lsn=20)
+        table.unit_finished(largest_key=400)
+        assert table.largest_finished_key == 500
+
+    def test_duplicate_unit_rejected(self):
+        table = ReorgProgressTable()
+        table.unit_started(1, begin_lsn=10)
+        with pytest.raises(ReorgError):
+            table.unit_started(1, begin_lsn=20)
+
+    def test_parallel_units_tracked_independently(self):
+        """The parallel-reorganization extension: one row per unit."""
+        table = ReorgProgressTable()
+        table.unit_started(1, begin_lsn=10)
+        table.unit_started(2, begin_lsn=12)
+        assert table.units_in_flight == [1, 2]
+        assert table.begin_lsn == 10  # low-water over in-flight units
+        with pytest.raises(ReorgError):
+            _ = table.recent_lsn  # ambiguous with two units
+        table.unit_logged(15, unit_id=2)
+        assert table.recent_lsn_of(2) == 15
+        assert table.recent_lsn_of(1) == 10
+        table.unit_finished(100, unit_id=1)
+        assert table.units_in_flight == [2]
+        assert table.recent_lsn == 15  # single again: unambiguous
+        snap = table.snapshot()
+        assert snap.units == ((2, 12, 15),)
+        fresh = ReorgProgressTable()
+        fresh.restore(snap)
+        assert fresh.recent_lsn_of(2) == 15
+        assert fresh.largest_finished_key == 100
+
+    def test_abort_clears_without_advancing_lk(self):
+        table = ReorgProgressTable()
+        table.unit_started(1, begin_lsn=10)
+        table.unit_aborted()
+        assert table.largest_finished_key == NO_KEY_YET
+        assert not table.unit_in_flight
+
+    def test_lifecycle_calls_require_in_flight_unit(self):
+        table = ReorgProgressTable()
+        with pytest.raises(ReorgError):
+            table.unit_logged(5)
+        with pytest.raises(ReorgError):
+            table.unit_finished(1)
+        with pytest.raises(ReorgError):
+            table.unit_aborted()
+
+
+class TestLowWaterAndSnapshot:
+    def test_low_water_uses_begin_lsn_when_in_flight(self):
+        table = ReorgProgressTable()
+        table.unit_started(1, begin_lsn=10)
+        assert table.low_water_lsn(txn_low_water=50) == 10
+        assert table.low_water_lsn(txn_low_water=5) == 5
+
+    def test_low_water_without_unit_is_txn_low_water(self):
+        table = ReorgProgressTable()
+        assert table.low_water_lsn(txn_low_water=50) == 50
+
+    def test_snapshot_restore_round_trip(self):
+        table = ReorgProgressTable()
+        table.unit_started(1, begin_lsn=10)
+        table.unit_logged(12)
+        snap = table.snapshot()
+        fresh = ReorgProgressTable()
+        fresh.restore(snap)
+        assert fresh.begin_lsn == 10
+        assert fresh.recent_lsn == 12
+        assert fresh.unit_in_flight
+
+    def test_crash_clears_table(self):
+        table = ReorgProgressTable()
+        table.unit_started(1, begin_lsn=10)
+        table.crash()
+        assert not table.unit_in_flight
+        assert table.largest_finished_key == NO_KEY_YET

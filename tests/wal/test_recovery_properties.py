@@ -1,0 +1,170 @@
+"""Property-based crash-recovery tests.
+
+The master invariant: for any committed workload and any crash point, after
+recovery (plus forward recovery of any pending reorganization) the tree
+contains exactly the committed records and validates structurally —
+regardless of buffer-pool size (i.e. of which pages happened to be on disk).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import ReorgConfig, TreeConfig
+from repro.db import Database
+from repro.errors import CrashPoint
+from repro.reorg.reorganizer import Reorganizer
+from repro.sim.crash import LogCrashInjector, crash_recover
+from repro.storage.page import Record
+from repro.txn.transaction import Transaction
+from repro.wal.records import CommitRecord, EndRecord
+
+KEYS = st.integers(min_value=0, max_value=500)
+
+OPS = st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]), KEYS),
+    min_size=5,
+    max_size=80,
+)
+
+
+def fresh_db(buffer_pool_pages=16):
+    return Database(
+        TreeConfig(
+            leaf_capacity=4,
+            internal_capacity=4,
+            leaf_extent_pages=256,
+            internal_extent_pages=128,
+            buffer_pool_pages=buffer_pool_pages,
+        )
+    )
+
+
+def committed(db, tree, op, key, model):
+    txn = Transaction()
+    if op == "insert" and key not in model:
+        tree.insert(Record(key, f"v{key}"), txn)
+        model[key] = f"v{key}"
+    elif op == "delete" and key in model:
+        tree.delete(key, txn)
+        del model[key]
+    else:
+        return
+    db.log.append(CommitRecord(txn_id=txn.txn_id, prev_lsn=txn.last_lsn))
+    db.log.append(EndRecord(txn_id=txn.txn_id))
+
+
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(ops=OPS, pool=st.sampled_from([8, 16, 64]))
+def test_committed_work_survives_crash(ops, pool):
+    db = fresh_db(buffer_pool_pages=pool)
+    tree = db.create_tree()
+    model: dict[int, str] = {}
+    for op, key in ops:
+        committed(db, tree, op, key, model)
+    db.log.flush()
+    db.crash()
+    db.recover()
+    tree = db.tree()
+    tree.validate()
+    assert sorted(r.key for r in tree.items()) == sorted(model)
+    for key, payload in list(model.items())[:10]:
+        assert tree.search(key).payload == payload
+
+
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    ops=OPS,
+    loser_keys=st.lists(KEYS, min_size=1, max_size=10, unique=True),
+)
+def test_uncommitted_work_is_undone(ops, loser_keys):
+    db = fresh_db()
+    tree = db.create_tree()
+    model: dict[int, str] = {}
+    for op, key in ops:
+        committed(db, tree, op, key, model)
+    loser = Transaction()
+    inserted = []
+    for key in loser_keys:
+        if key not in model and key not in inserted:
+            tree.insert(Record(key, "loser"), loser)
+            inserted.append(key)
+    db.log.flush()
+    db.crash()
+    report = db.recover()
+    tree = db.tree()
+    tree.validate()
+    if inserted:
+        assert loser.txn_id in report.undone_txns
+    assert sorted(r.key for r in tree.items()) == sorted(model)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    crash_after=st.integers(min_value=2, max_value=120),
+    keep_every=st.sampled_from([3, 4]),
+)
+def test_reorg_crash_anywhere_recovers_to_same_records(crash_after, keep_every):
+    """Crash a reorganization at an arbitrary log offset; after recovery +
+    forward recovery the record set is exactly the pre-reorg set."""
+    db = fresh_db(buffer_pool_pages=32)
+    tree = db.bulk_load_tree(
+        [Record(k, f"v{k}") for k in range(160)], leaf_fill=1.0,
+        internal_fill=0.6,
+    )
+    for k in range(160):
+        if k % keep_every != 0:
+            tree.delete(k)
+    db.flush()
+    db.checkpoint()
+    expected = sorted(r.key for r in tree.items())
+    reorg = Reorganizer(db, tree, ReorgConfig(stable_point_interval=2))
+    crashed = False
+    try:
+        with LogCrashInjector(db.log, after_records=crash_after):
+            reorg.run()
+    except CrashPoint:
+        crashed = True
+    if crashed:
+        recovery = crash_recover(db)
+        fresh = Reorganizer(db, db.tree(), ReorgConfig(stable_point_interval=2))
+        fresh.forward_recover(recovery)
+    tree = db.tree()
+    tree.validate()
+    assert sorted(r.key for r in tree.items()) == expected
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(crash_points=st.lists(
+    st.integers(min_value=2, max_value=40), min_size=2, max_size=4,
+))
+def test_repeated_crashes_converge(crash_points):
+    """Crash, recover, resume, crash again ... the system always converges
+    to a valid tree with the full record set."""
+    db = fresh_db(buffer_pool_pages=32)
+    tree = db.bulk_load_tree(
+        [Record(k) for k in range(120)], leaf_fill=1.0, internal_fill=0.6
+    )
+    for k in range(120):
+        if k % 3 != 0:
+            tree.delete(k)
+    db.flush()
+    db.checkpoint()
+    expected = sorted(r.key for r in tree.items())
+    config = ReorgConfig(stable_point_interval=2)
+    for crash_after in crash_points:
+        reorg = Reorganizer(db, db.tree(), config)
+        try:
+            with LogCrashInjector(db.log, after_records=crash_after):
+                reorg.run()
+            break  # finished without crashing
+        except CrashPoint:
+            recovery = crash_recover(db)
+            Reorganizer(db, db.tree(), config).forward_recover(recovery)
+    tree = db.tree()
+    tree.validate()
+    assert sorted(r.key for r in tree.items()) == expected
