@@ -1,0 +1,75 @@
+"""Hot-path perf smoke: the harness's checks must stay byte-identical.
+
+Runs the three perf-harness workloads once each (``-m bench`` selects this
+file; it is excluded from the tier-1 ``tests/`` run by ``testpaths``) and
+asserts every deterministic check value against the constants captured from
+the seed revision.  Wall-clock is printed, never asserted — CI machines
+vary — but a changed swap count, blocking structure, or log volume means an
+"optimization" changed behaviour, and fails here loudly.
+"""
+
+import pytest
+
+from conftest import banner
+from perf_harness import WORKLOADS, run_suite
+
+pytestmark = pytest.mark.bench
+
+#: Check values captured from the seed revision; every later revision must
+#: reproduce them exactly under the same seeds.
+SEED_CHECKS = {
+    "bulk_insert": {
+        "record_count": 20000,
+        "log_records": 28588,
+        "log_bytes": 2254488,
+    },
+    "mixed_e2": {
+        "completed": 250,
+        "aborted": 0,
+        "blocked_txns": 5,
+        "total_blocks": 5,
+        "rx_backoffs": 1,
+        "makespan": 58.098459,
+        "record_count": 929,
+    },
+    "reorg_20k": {
+        "record_count": 6000,
+        "pass1_units": 434,
+        "pass2_swaps": 0,
+        "pass2_moves": 609,
+        "leaves_after": 612,
+        "reorg_log_bytes": 568865,
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return run_suite(repeats=1)
+
+
+def test_covers_every_workload():
+    assert set(SEED_CHECKS) == set(WORKLOADS)
+
+
+@pytest.mark.parametrize("name", sorted(SEED_CHECKS))
+def test_checks_byte_identical_to_seed(suite, name):
+    assert suite[name]["checks"] == SEED_CHECKS[name]
+
+
+def test_counters_present_and_consistent(suite):
+    """The perf layer instrumented each workload (counters are collected
+    per run by run_suite) and basic cross-counter arithmetic holds."""
+    for name, result in suite.items():
+        counters = result["counters"]
+        assert counters["buffer_hits"] + counters["buffer_misses"] > 0, name
+        assert counters["buffer_mru_hits"] <= counters["buffer_hits"], name
+    e2 = suite["mixed_e2"]["counters"]
+    assert e2["des_events"] > 0
+    assert e2["lock_fast_grants"] > 0
+
+
+def test_report_wall_clock(suite):
+    banner("Hot-path harness — wall clock (not asserted)")
+    for name, result in sorted(suite.items()):
+        print(f"  {name:<12} {result['wall_s']:.4f}s")

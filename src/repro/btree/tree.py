@@ -38,7 +38,7 @@ from repro.storage.page import (
 )
 from repro.storage.store import StorageManager
 from repro.txn.transaction import Transaction
-from repro.wal.apply import apply_record
+from repro.wal.apply import apply_record, is_redoable
 from repro.wal.log import LogManager
 from repro.wal.records import (
     AllocRecord,
@@ -62,6 +62,7 @@ class BPlusTree:
         self.store = store
         self.log = log
         self.name = name
+        self._root_key = f"root:{name}"
         #: Optional observer called as ``listener(op, base_page_id, key,
         #: child)`` with op in {"insert", "delete"} whenever a *base page*
         #: (level-1) entry changes.  Pass 3 of the reorganizer registers
@@ -96,11 +97,11 @@ class BPlusTree:
         return tree
 
     def _root_meta_key(self) -> str:
-        return f"root:{self.name}"
+        return self._root_key
 
     @property
     def root_id(self) -> PageId:
-        root = self.store.disk.get_meta(self._root_meta_key())
+        root = self.store.disk.get_meta(self._root_key)
         if root is None:
             raise BTreeError(f"tree {self.name!r} has no root")
         return root  # type: ignore[return-value]
@@ -128,8 +129,6 @@ class BPlusTree:
         lsn = self.log.append(record)
         if txn is not None:
             txn.last_lsn = lsn
-        from repro.wal.apply import is_redoable
-
         if is_redoable(record):
             apply_record(self.store, record)
         return record
@@ -138,12 +137,13 @@ class BPlusTree:
 
     def path_to_leaf(self, key: int) -> list[PageId]:
         """Page ids from the root down to the leaf responsible for ``key``."""
+        get = self.store.get
         path = [self.root_id]
-        page = self.store.get(path[-1])
+        page = get(path[-1])
         while page.kind is PageKind.INTERNAL:
             child = page.child_for(key)  # type: ignore[union-attr]
             path.append(child)
-            page = self.store.get(child)
+            page = get(child)
         return path
 
     def leaf_for(self, key: int) -> LeafPage:
@@ -177,10 +177,7 @@ class BPlusTree:
     # -- queries -----------------------------------------------------------------
 
     def search(self, key: int) -> Record | None:
-        leaf = self.leaf_for(key)
-        if leaf.contains(key):
-            return leaf.get(key)
-        return None
+        return self.leaf_for(key).find(key)
 
     def range_scan(self, low: int, high: int) -> list[Record]:
         """All records with low <= key <= high, in key order.
@@ -194,10 +191,9 @@ class BPlusTree:
         out: list[Record] = []
         leaf = self.leaf_for(low)
         while True:
-            for record in leaf.iter_from(low):
-                if record.key > high:
-                    return out
-                out.append(record)
+            out.extend(leaf.records_in_range(low, high))
+            if not leaf.is_empty and leaf.max_key() > high:
+                return out
             next_id = self._successor_or_no_page(leaf)
             if next_id == NO_PAGE:
                 return out
@@ -243,15 +239,24 @@ class BPlusTree:
 
     def leaf_ids_in_key_order(self) -> list[PageId]:
         """All leaf page ids in key order, via a tree walk (robust to empty
-        leaves and independent of side-pointer configuration)."""
+        leaves and independent of side-pointer configuration).
+
+        Only internal pages are fetched: base pages (level 1) list their
+        leaf children directly, so the walk costs O(#internal) page reads
+        instead of O(#leaves) — the reorganizer calls this around every
+        unit, which made leaf fetches the dominant reorganization cost.
+        """
+        root = self.store.get(self.root_id)
+        if root.kind is PageKind.LEAF:
+            return [root.page_id]
         ids: list[PageId] = []
-        stack: list[PageId] = [self.root_id]
+        stack: list[PageId] = [root.page_id]
         while stack:
-            page = self.store.get(stack.pop())
-            if page.kind is PageKind.LEAF:
-                ids.append(page.page_id)
+            page = self.store.get_internal(stack.pop())
+            if page.level == 1:
+                ids.extend(page.children())
             else:
-                stack.extend(reversed(page.children()))  # type: ignore[union-attr]
+                stack.extend(reversed(page.children()))
         return ids
 
     def successor_leaf_id(self, leaf: LeafPage) -> PageId:
@@ -268,14 +273,19 @@ class BPlusTree:
     _successor_or_no_page = successor_leaf_id
 
     def record_count(self) -> int:
-        return sum(1 for _ in self.items())
+        """Total records, summing per-leaf counts along the leaf walk
+        instead of materializing every record through :meth:`items`."""
+        get_leaf = self.store.get_leaf
+        return sum(
+            get_leaf(leaf_id).num_items
+            for leaf_id in self.leaf_ids_in_key_order()
+        )
 
     # -- insertion ---------------------------------------------------------------
 
     def insert(self, record: Record, txn: Transaction | None = None) -> None:
         """Insert a record, splitting pages as needed."""
-        self._lower_leftmost_entry_keys(record.key)
-        path = self.path_to_leaf(record.key)
+        path = self._descend_for_insert(record.key)
         leaf = self.store.get_leaf(path[-1])
         if leaf.is_full:
             leaf = self._split_leaf(path, record.key)
@@ -286,31 +296,39 @@ class BPlusTree:
             txn,
         )
 
-    def _lower_leftmost_entry_keys(self, key: int) -> None:
-        """Maintain *entry key = minimum of child subtree* when ``key``
-        arrives below the current tree minimum.
+    def _descend_for_insert(self, key: int) -> list[PageId]:
+        """Path from the root to the leaf responsible for ``key``,
+        maintaining *entry key = minimum of child subtree* along the way.
 
-        Under-minimum keys route to the leftmost child of every internal
-        node on their path; lowering the entry keys keeps future split
-        separators distinct from existing entry keys.
+        Free-at-empty deallocation leaves entry keys that are only lower
+        bounds, so ``key`` can arrive below a page's first entry key at any
+        level — not just below the tree minimum.  Under-minimum keys route
+        to the leftmost child, so the descent lowers the first entry key
+        wherever needed; doing it while building the path keeps insert to a
+        single descent instead of a lowering walk plus
+        :meth:`path_to_leaf`.
         """
-        page_id = self.root_id
-        page = self.store.get(page_id)
+        get = self.store.get
+        path = [self.root_id]
+        page = get(path[-1])
         while page.kind is PageKind.INTERNAL:
-            entries = page.entries  # type: ignore[union-attr]
-            first_key, first_child = entries[0]
+            first_key = page.min_key()  # type: ignore[union-attr]
             if key < first_key:
+                child = page.child_for(key)  # type: ignore[union-attr]
                 self._log_apply(
                     BaseEntryUpdateRecord(
-                        page_id=page_id,
+                        page_id=page.page_id,
                         org_key=first_key,
-                        org_child=first_child,
+                        org_child=child,
                         new_key=key,
-                        new_child=first_child,
+                        new_child=child,
                     )
                 )
-            page_id = page.child_for(key)  # type: ignore[union-attr]
-            page = self.store.get(page_id)
+            else:
+                child = page.child_for(key)  # type: ignore[union-attr]
+            path.append(child)
+            page = get(child)
+        return path
 
     def _split_leaf(self, path: list[PageId], pending_key: int) -> LeafPage:
         """Split the leaf at the end of ``path``; return the leaf that
@@ -438,9 +456,9 @@ class BPlusTree:
         """Delete ``key``; deallocate the leaf if it becomes empty [JS93]."""
         path = self.path_to_leaf(key)
         leaf = self.store.get_leaf(path[-1])
-        if not leaf.contains(key):
+        record = leaf.find(key)
+        if record is None:
             raise KeyNotFoundError(f"key {key} not in tree {self.name!r}")
-        record = leaf.get(key)
         self._log_apply(
             LeafDeleteRecord(
                 page_id=leaf.page_id, record=record, tree_name=self.name

@@ -65,6 +65,11 @@ class LockMode(enum.Enum):
     def __repr__(self) -> str:
         return self.value
 
+    # Members are singletons, so identity hashing is equivalent to the
+    # default name-based hash — but runs as a C slot instead of a Python
+    # call.  Lock tables hash modes on every request/release.
+    __hash__ = object.__hash__
+
 
 _Y, _N, _B = True, False, None  # Yes / No / blank ("never requested together")
 

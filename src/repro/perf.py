@@ -1,0 +1,143 @@
+"""Near-zero-overhead performance counters and section timers.
+
+The related B+-tree performance literature (FB+-tree, arXiv:2503.23397;
+BS-tree, arXiv:2505.01180) locates most index time on *uncontended* hot
+paths: in-node key search, latch acquisition that never blocks, and cache
+lookups that hit.  This module makes those paths visible in the simulator:
+the lock manager, buffer pool and discrete-event scheduler each bump a
+couple of plain integer slots here, and the benchmark harness
+(``benchmarks/perf_harness.py``) snapshots them into ``BENCH_<n>.json``.
+
+Two kinds of instrumentation with different guarantees:
+
+* :class:`PerfCounters` — integer event counts.  These are a pure function
+  of the workload and its seeds, so identical seeded runs produce identical
+  snapshots (asserted by ``tests/perf/test_perf_counters.py``).  Cost per
+  event is one attribute increment on a ``__slots__`` object.
+* :class:`PerfTimers` — accumulated wall-clock per named section via
+  ``time.perf_counter``.  Timers are *not* deterministic and are kept out
+  of the counter snapshot; they feed derived rates like events/sec.
+
+A single module-level registry :data:`PERF` is shared by every Database in
+the process (the simulator is single-threaded); ``PERF.reset()`` between
+measured phases scopes the numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class PerfCounters:
+    """Deterministic event counters for the four hot subsystems."""
+
+    __slots__ = (
+        #: Scheduler heap events executed by :meth:`Scheduler.run`.
+        "des_events",
+        #: Generator resume calls (:meth:`Scheduler._step` invocations).
+        "des_steps",
+        #: Lock requests granted by the uncontended-acquire fast path.
+        "lock_fast_grants",
+        #: Lock requests granted immediately by the full conflict scan.
+        "lock_slow_grants",
+        #: Lock requests that had to enqueue and wait.
+        "lock_waits",
+        #: Buffer pool fetches served from a resident frame.
+        "buffer_hits",
+        #: Buffer pool fetches that went to the simulated disk.
+        "buffer_misses",
+        #: Hits on the most-recently-used frame (LRU bookkeeping skipped).
+        "buffer_mru_hits",
+        #: Page flushes that skipped the WAL call (page_lsn <= flushed_lsn).
+        "wal_flush_skips",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of every counter; deterministic under fixed seeds."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    # -- derived rates -------------------------------------------------------
+
+    @property
+    def buffer_hit_rate(self) -> float:
+        total = self.buffer_hits + self.buffer_misses
+        return self.buffer_hits / total if total else 0.0
+
+    @property
+    def lock_fast_path_rate(self) -> float:
+        total = self.lock_fast_grants + self.lock_slow_grants + self.lock_waits
+        return self.lock_fast_grants / total if total else 0.0
+
+
+class PerfTimers:
+    """Wall-clock accumulation per named section (non-deterministic)."""
+
+    def __init__(self) -> None:
+        self._totals: dict[str, float] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - started)
+
+    def total(self, name: str) -> float:
+        return self._totals.get(name, 0.0)
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self._totals)
+
+    def reset(self) -> None:
+        self._totals.clear()
+
+
+class PerfRegistry:
+    """Counters + timers + the rates derived from both."""
+
+    def __init__(self) -> None:
+        self.counters = PerfCounters()
+        self.timers = PerfTimers()
+
+    def reset(self) -> None:
+        self.counters.reset()
+        self.timers.reset()
+
+    def events_per_second(self) -> float:
+        """DES throughput over the accumulated ``scheduler.run`` time."""
+        elapsed = self.timers.total("scheduler.run")
+        return self.counters.des_events / elapsed if elapsed > 0 else 0.0
+
+    def snapshot(self) -> dict:
+        """Everything at once; ``counters`` is the deterministic part."""
+        return {
+            "counters": self.counters.snapshot(),
+            "timers": {
+                name: round(total, 6)
+                for name, total in self.timers.snapshot().items()
+            },
+            "derived": {
+                "buffer_hit_rate": round(self.counters.buffer_hit_rate, 4),
+                "lock_fast_path_rate": round(
+                    self.counters.lock_fast_path_rate, 4
+                ),
+                "events_per_second": round(self.events_per_second(), 1),
+            },
+        }
+
+
+#: Process-wide registry; the simulator is single-threaded, so one is enough.
+PERF = PerfRegistry()

@@ -64,9 +64,11 @@ def build_sparse_tree(
         del keys
     else:
         victims = rng.sample(range(n_records), n_delete)
+    # Victims are distinct and chosen before any deletion, so each is
+    # still present here; delete directly rather than re-descending with a
+    # search first.
     for key in victims:
-        if tree.search(key) is not None:
-            tree.delete(key)
+        tree.delete(key)
     return tree
 
 

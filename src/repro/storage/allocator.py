@@ -11,6 +11,14 @@ page after the largest finished leaf page id L and before the current leaf
 C*.  :meth:`FreeSpaceMap.first_free_in_range` answers exactly that query in
 O(log n).
 
+Two implementation details keep the map off the profile:
+
+* extents are looked up by bisecting a sorted list of extent start offsets
+  instead of scanning every extent;
+* each free list carries a *head offset* so allocating the smallest free
+  page is O(1) instead of ``list.pop(0)``'s O(n); the consumed prefix is
+  compacted away once it outgrows the live tail.
+
 Allocation state is considered stable (it survives crashes); the paper logs
 space allocation so that "space which is allocated after the most recent
 force-write log record can be deallocated during recovery" (section 7.3).
@@ -31,46 +39,62 @@ from repro.errors import (
 from repro.storage.disk import Extent, SimulatedDisk
 from repro.storage.page import PageId
 
+#: Compact a free list's consumed prefix once it exceeds this many slots
+#: and the live tail (amortizes the O(n) deletion over O(n) allocations).
+_COMPACT_THRESHOLD = 64
+
 
 class FreeSpaceMap:
     """Tracks which page ids in each extent are free vs. allocated."""
 
     def __init__(self, disk: SimulatedDisk, extent_names: list[str]):
         self._disk = disk
+        #: Per extent: sorted free page ids; only ``[head:]`` is live.
         self._free: dict[str, list[PageId]] = {}
+        self._head: dict[str, int] = {}
         self._extents: dict[str, Extent] = {}
         for name in extent_names:
             extent = disk.extent(name)
             self._extents[name] = extent
             self._free[name] = list(range(extent.start, extent.end))
+            self._head[name] = 0
+        #: Extent starts, sorted, with the owning name at the same index:
+        #: extent_for bisects here instead of scanning every extent.
+        by_start = sorted(
+            (extent.start, name) for name, extent in self._extents.items()
+        )
+        self._starts = [start for start, _ in by_start]
+        self._names_by_start = [name for _, name in by_start]
 
     # -- queries ------------------------------------------------------------
 
     def extent_for(self, page_id: PageId) -> str:
-        for name, extent in self._extents.items():
-            if extent.contains(page_id):
+        i = bisect.bisect_right(self._starts, page_id) - 1
+        if i >= 0:
+            name = self._names_by_start[i]
+            if self._extents[name].contains(page_id):
                 return name
         raise StorageError(f"page id {page_id} not in any managed extent")
 
     def is_free(self, page_id: PageId) -> bool:
         name = self.extent_for(page_id)
         free = self._free[name]
-        i = bisect.bisect_left(free, page_id)
+        i = bisect.bisect_left(free, page_id, self._head[name])
         return i < len(free) and free[i] == page_id
 
     def free_count(self, extent_name: str) -> int:
-        return len(self._free[extent_name])
+        return len(self._free[extent_name]) - self._head[extent_name]
 
     def allocated_count(self, extent_name: str) -> int:
-        return self._extents[extent_name].size - len(self._free[extent_name])
+        return self._extents[extent_name].size - self.free_count(extent_name)
 
     def free_page_ids(self, extent_name: str) -> list[PageId]:
         """Sorted free page ids of the extent (copy)."""
-        return list(self._free[extent_name])
+        return self._free[extent_name][self._head[extent_name] :]
 
     def allocated_page_ids(self, extent_name: str) -> list[PageId]:
         """Sorted allocated page ids of the extent."""
-        free = set(self._free[extent_name])
+        free = set(self.free_page_ids(extent_name))
         extent = self._extents[extent_name]
         return [pid for pid in range(extent.start, extent.end) if pid not in free]
 
@@ -84,7 +108,7 @@ class FreeSpaceMap:
         and ``before`` is C, the page being reorganized.
         """
         free = self._free[extent_name]
-        i = bisect.bisect_right(free, after)
+        i = bisect.bisect_right(free, after, self._head[extent_name])
         if i < len(free) and free[i] < before:
             return free[i]
         return None
@@ -92,7 +116,8 @@ class FreeSpaceMap:
     def first_free(self, extent_name: str) -> PageId | None:
         """Smallest free page id in the extent, or None if full."""
         free = self._free[extent_name]
-        return free[0] if free else None
+        head = self._head[extent_name]
+        return free[head] if head < len(free) else None
 
     # -- mutations ----------------------------------------------------------
 
@@ -104,23 +129,29 @@ class FreeSpaceMap:
         errors for invalid explicit requests.
         """
         free = self._free[extent_name]
+        head = self._head[extent_name]
         if page_id is None:
-            if not free:
+            if head >= len(free):
                 raise ExtentFullError(f"extent {extent_name!r} has no free pages")
-            return free.pop(0)
-        i = bisect.bisect_left(free, page_id)
+            page_id = free[head]
+            self._advance_head(extent_name, head + 1)
+            return page_id
+        i = bisect.bisect_left(free, page_id, head)
         if i >= len(free) or free[i] != page_id:
             raise StorageError(
                 f"page {page_id} is not free in extent {extent_name!r}"
             )
-        free.pop(i)
+        if i == head:
+            self._advance_head(extent_name, head + 1)
+        else:
+            free.pop(i)
         return page_id
 
     def free(self, page_id: PageId) -> None:
         """Return a page to the free pool and erase its stable image."""
         name = self.extent_for(page_id)
         free = self._free[name]
-        i = bisect.bisect_left(free, page_id)
+        i = bisect.bisect_left(free, page_id, self._head[name])
         if i < len(free) and free[i] == page_id:
             raise PageAlreadyFreeError(f"page {page_id} is already free")
         free.insert(i, page_id)
@@ -130,6 +161,19 @@ class FreeSpaceMap:
         """Force a page into the allocated state (recovery bootstrap)."""
         name = self.extent_for(page_id)
         free = self._free[name]
-        i = bisect.bisect_left(free, page_id)
+        head = self._head[name]
+        i = bisect.bisect_left(free, page_id, head)
         if i < len(free) and free[i] == page_id:
-            free.pop(i)
+            if i == head:
+                self._advance_head(name, head + 1)
+            else:
+                free.pop(i)
+
+    # -- internals ----------------------------------------------------------
+
+    def _advance_head(self, extent_name: str, head: int) -> None:
+        free = self._free[extent_name]
+        if head > _COMPACT_THRESHOLD and head > len(free) - head:
+            del free[:head]
+            head = 0
+        self._head[extent_name] = head

@@ -32,8 +32,13 @@ from repro.errors import (
     CarefulWriteViolation,
     PagePinnedError,
 )
+from repro.perf import PERF
 from repro.storage.disk import SimulatedDisk
 from repro.storage.page import Page, PageId
+
+#: Module-level alias: PERF.reset() clears counters in place, so the bound
+#: object stays valid and the hot paths save an attribute load per event.
+_COUNTERS = PERF.counters
 
 
 class WALHook(Protocol):
@@ -84,6 +89,14 @@ class BufferPool:
         self._careful_writing = careful_writing
         #: LRU order: oldest first.  Maps page id -> frame.
         self._frames: OrderedDict[PageId, _Frame] = OrderedDict()
+        #: Invariant: either None or the key currently last in ``_frames``.
+        #: Lets repeat fetches of the hottest page skip ``move_to_end``.
+        self._mru_id: PageId | None = None
+        # Bound dict membership test shadowing the `contains` method below:
+        # the DES charges a residency-dependent cost per FetchPage, so this
+        # runs once per simulated page access.  `_frames` is cleared in
+        # place on crash, never rebound, so the bound method stays valid.
+        self.contains = self._frames.__contains__
         #: source page id -> set of destination page ids that must be
         #: durable before the source may be written or deallocated.
         self._write_before: dict[PageId, set[PageId]] = {}
@@ -109,9 +122,16 @@ class BufferPool:
         frame = self._frames.get(page_id)
         if frame is not None:
             self.hits += 1
-            self._frames.move_to_end(page_id)
+            _COUNTERS.buffer_hits += 1
+            if page_id != self._mru_id:
+                self._frames.move_to_end(page_id)
+                self._mru_id = page_id
+            else:
+                # Already the newest entry; move_to_end would be a no-op.
+                _COUNTERS.buffer_mru_hits += 1
         else:
             self.misses += 1
+            _COUNTERS.buffer_misses += 1
             page = self._disk.read(page_id)
             frame = self._admit(page)
         if pin:
@@ -218,7 +238,10 @@ class BufferPool:
         for dest in sorted(self.pending_dependencies(page_id)):
             self._flush_page(dest, in_progress=in_progress)
         in_progress.discard(page_id)
-        self._wal.flush(frame.page.page_lsn)
+        if frame.page.page_lsn > self._wal.flushed_lsn:
+            self._wal.flush(frame.page.page_lsn)
+        else:
+            _COUNTERS.wal_flush_skips += 1
         self._disk.write(frame.page)
         frame.dirty = False
         self.page_writes += 1
@@ -253,12 +276,15 @@ class BufferPool:
             if frame.pins > 0:
                 raise PagePinnedError(f"cannot drop pinned page {page_id}")
             del self._frames[page_id]
+            if page_id == self._mru_id:
+                self._mru_id = None
 
     # -- crash simulation ----------------------------------------------------------
 
     def crash(self) -> None:
         """Discard all volatile state (buffered pages, dependency edges)."""
         self._frames.clear()
+        self._mru_id = None
         self._write_before.clear()
 
     # -- internals -------------------------------------------------------------
@@ -274,6 +300,7 @@ class BufferPool:
             self._evict_one()
         frame = _Frame(page)
         self._frames[page.page_id] = frame
+        self._mru_id = page.page_id
         return frame
 
     def _evict_one(self) -> None:
@@ -282,6 +309,8 @@ class BufferPool:
                 if frame.dirty:
                     self._flush_page(page_id, in_progress=set())
                 del self._frames[page_id]
+                if page_id == self._mru_id:
+                    self._mru_id = None
                 self.evictions += 1
                 return
         raise BufferPoolError("all buffer frames are pinned; cannot evict")

@@ -108,6 +108,9 @@ class LeafPage(Page):
             raise ValueError("leaf capacity must be positive")
         self._capacity = capacity
         self._records: list[Record] = []
+        #: Parallel list of record keys, kept in lockstep with ``_records``
+        #: so in-page search can bisect without a per-probe key() lambda.
+        self._keys: list[int] = []
         #: One-way side pointer to the next leaf in key order, or NO_PAGE.
         self.next_leaf: PageId = NO_PAGE
         #: Backward pointer for two-way side-pointer configurations.
@@ -116,9 +119,14 @@ class LeafPage(Page):
     # -- Page interface -----------------------------------------------------
 
     def clone(self) -> "LeafPage":
-        copy = LeafPage(self.page_id, self._capacity)
+        # Bypass __init__: clone() runs on every simulated disk read/write,
+        # and the source page already satisfies the constructor's checks.
+        copy = LeafPage.__new__(LeafPage)
+        copy.page_id = self.page_id
         copy.page_lsn = self.page_lsn
+        copy._capacity = self._capacity
         copy._records = list(self._records)
+        copy._keys = list(self._keys)
         copy.next_leaf = self.next_leaf
         copy.prev_leaf = self.prev_leaf
         return copy
@@ -139,22 +147,23 @@ class LeafPage(Page):
         return tuple(self._records)
 
     def keys(self) -> list[int]:
-        return [r.key for r in self._records]
+        return list(self._keys)
 
     def min_key(self) -> int:
-        if not self._records:
+        if not self._keys:
             raise BTreeError(f"leaf page {self.page_id} is empty; no min key")
-        return self._records[0].key
+        return self._keys[0]
 
     def max_key(self) -> int:
-        if not self._records:
+        if not self._keys:
             raise BTreeError(f"leaf page {self.page_id} is empty; no max key")
-        return self._records[-1].key
+        return self._keys[-1]
 
     def _index_of(self, key: int) -> int:
         """Index of ``key`` in the record list, or -1 if absent."""
-        i = bisect.bisect_left(self._records, key, key=lambda r: r.key)
-        if i < len(self._records) and self._records[i].key == key:
+        keys = self._keys
+        i = bisect.bisect_left(keys, key)
+        if i < len(keys) and keys[i] == key:
             return i
         return -1
 
@@ -167,30 +176,43 @@ class LeafPage(Page):
             raise KeyNotFoundError(f"key {key} not in leaf page {self.page_id}")
         return self._records[i]
 
+    def find(self, key: int) -> Record | None:
+        """The record for ``key`` or None — one probe for contains+get."""
+        keys = self._keys
+        i = bisect.bisect_left(keys, key)
+        if i < len(keys) and keys[i] == key:
+            return self._records[i]
+        return None
+
     def insert(self, record: Record) -> None:
         """Insert a record, keeping key order.  Duplicates are rejected."""
         if self.is_full:
             raise BTreeError(f"leaf page {self.page_id} is full")
-        i = bisect.bisect_left(self._records, record.key, key=lambda r: r.key)
-        if i < len(self._records) and self._records[i].key == record.key:
+        keys = self._keys
+        i = bisect.bisect_left(keys, record.key)
+        if i < len(keys) and keys[i] == record.key:
             raise DuplicateKeyError(f"key {record.key} already in page {self.page_id}")
+        keys.insert(i, record.key)
         self._records.insert(i, record)
 
     def delete(self, key: int) -> Record:
         i = self._index_of(key)
         if i < 0:
             raise KeyNotFoundError(f"key {key} not in leaf page {self.page_id}")
+        self._keys.pop(i)
         return self._records.pop(i)
 
     def take_all(self) -> list[Record]:
         """Remove and return every record (used when moving page contents)."""
         records, self._records = self._records, []
+        self._keys = []
         return records
 
     def take_first(self, n: int) -> list[Record]:
         """Remove and return the ``n`` smallest records."""
         taken = self._records[:n]
         del self._records[:n]
+        del self._keys[:n]
         return taken
 
     def extend(self, records: list[Record]) -> None:
@@ -212,6 +234,7 @@ class LeafPage(Page):
             if later.key <= earlier.key:
                 raise BTreeError("extend records must be strictly ascending")
         self._records.extend(records)
+        self._keys.extend(r.key for r in records)
 
     def replace_all(self, records: list[Record]) -> None:
         """Replace the full record list (used by swaps and recovery redo)."""
@@ -222,11 +245,18 @@ class LeafPage(Page):
             if later.key == earlier.key:
                 raise DuplicateKeyError(f"duplicate key {later.key} in replace_all")
         self._records = ordered
+        self._keys = [r.key for r in ordered]
 
     def iter_from(self, key: int) -> Iterator[Record]:
         """Yield records with key >= ``key`` in ascending order."""
-        i = bisect.bisect_left(self._records, key, key=lambda r: r.key)
+        i = bisect.bisect_left(self._keys, key)
         yield from self._records[i:]
+
+    def records_in_range(self, low: int, high: int) -> list[Record]:
+        """Records with ``low <= key <= high`` as one slice (range scans)."""
+        lo = bisect.bisect_left(self._keys, low)
+        hi = bisect.bisect_right(self._keys, high)
+        return self._records[lo:hi]
 
     def payload_bytes(self) -> int:
         """Total payload size, used to model full-content log volume."""
@@ -263,8 +293,12 @@ class InternalPage(Page):
     # -- Page interface -----------------------------------------------------
 
     def clone(self) -> "InternalPage":
-        copy = InternalPage(self.page_id, self._capacity, level=self.level)
+        # Bypass __init__ for the same reason as LeafPage.clone.
+        copy = InternalPage.__new__(InternalPage)
+        copy.page_id = self.page_id
         copy.page_lsn = self.page_lsn
+        copy._capacity = self._capacity
+        copy.level = self.level
         copy._keys = list(self._keys)
         copy._children = list(self._children)
         copy.low_mark = self.low_mark
@@ -305,7 +339,7 @@ class InternalPage(Page):
         if not self._keys:
             raise BTreeError(f"internal page {self.page_id} is empty")
         i = bisect.bisect_right(self._keys, key) - 1
-        return max(i, 0)
+        return i if i > 0 else 0
 
     def child_for(self, key: int) -> PageId:
         return self._children[self.child_index_for(key)]

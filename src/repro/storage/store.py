@@ -41,6 +41,11 @@ class StorageManager:
             self.config.buffer_pool_pages,
             careful_writing=self.config.careful_writing,
         )
+        # Shadow the `get` method with the pool's bound fetch: `store.get`
+        # is the single hottest call in every workload and the wrapper frame
+        # is pure overhead.  The def below remains as documentation and for
+        # anything holding an unbound reference.
+        self.get = self.buffer.fetch
 
     # -- wiring ---------------------------------------------------------------
 

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Generator
 
 from repro.errors import (
@@ -43,6 +44,10 @@ from repro.errors import (
     TransactionAborted,
 )
 from repro.locks.manager import LockManager, LockRequest, RequestState
+from repro.perf import PERF
+
+#: See storage/buffer.py: reset() clears in place, the alias stays valid.
+_COUNTERS = PERF.counters
 from repro.txn.ops import (
     Acquire,
     Call,
@@ -81,6 +86,11 @@ class _Process:
     done: bool = False
     #: Set by Scheduler.abort_transaction; honoured at the next step.
     abort_requested: bool = False
+    #: Lock-manager callbacks, built once at spawn and reused for every
+    #: Acquire/Convert this process issues (the hot loop previously closed
+    #: over fresh callables per lock request).
+    on_grant: Callable[[LockRequest], None] = field(default=None, repr=False)  # type: ignore[assignment]
+    on_deadlock: Callable[[LockRequest], None] = field(default=None, repr=False)  # type: ignore[assignment]
 
 
 class Scheduler:
@@ -100,6 +110,9 @@ class Scheduler:
         self.log = log
         self.io_time = io_time
         self.hit_time = hit_time
+        #: Bound residency test for the FetchPage hot path (None when the
+        #: scheduler runs without a store, e.g. pure lock-protocol tests).
+        self._buffer_contains = store.buffer.contains if store is not None else None
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
@@ -124,25 +137,33 @@ class Scheduler:
         """Register a protocol generator to start at simulated time ``at``."""
         transaction = txn or Transaction(name, is_reorganizer=is_reorganizer)
         process = _Process(transaction, gen)
+        process.on_grant = self._make_grant_callback(process)
+        process.on_deadlock = self._make_deadlock_callback(process)
         self._processes.append(process)
-        self._schedule(at, lambda: self._start(process))
+        self._schedule(at, partial(self._start, process))
         return transaction
 
     def run(self, *, until: float | None = None, max_events: int = 2_000_000) -> None:
         """Drain the event heap (optionally up to simulated time ``until``)."""
         events = 0
-        while self._heap:
-            if self._crash is not None:
-                raise self._crash
-            time, _, action = heapq.heappop(self._heap)
-            if until is not None and time > until:
-                heapq.heappush(self._heap, (time, next(self._seq), action))
-                return
-            self.now = max(self.now, time)
-            action()
-            events += 1
-            if events > max_events:
-                raise SchedulerStall(f"exceeded {max_events} events")
+        counters = _COUNTERS
+        heap = self._heap
+        heappop = heapq.heappop
+        with PERF.timers.section("scheduler.run"):
+            while heap:
+                if self._crash is not None:
+                    raise self._crash
+                time, _, action = heappop(heap)
+                if until is not None and time > until:
+                    heapq.heappush(heap, (time, next(self._seq), action))
+                    return
+                if time > self.now:
+                    self.now = time
+                action()
+                events += 1
+                counters.des_events += 1
+                if events > max_events:
+                    raise SchedulerStall(f"exceeded {max_events} events")
         if self._crash is not None:
             raise self._crash
         stuck = [p for p in self._processes if not p.done and p.waiting_since is not None]
@@ -208,6 +229,7 @@ class Scheduler:
         throw: BaseException | None = None,
     ) -> None:
         """Advance one process until it suspends, finishes or fails."""
+        _COUNTERS.des_steps += 1
         gen = process.gen
         txn = process.txn
         if process.done:
@@ -239,7 +261,8 @@ class Scheduler:
                 return
             send_value = None
 
-            if isinstance(op, Acquire):
+            op_cls = op.__class__
+            if op_cls is Acquire:
                 txn.metrics.lock_requests += 1
                 try:
                     request = self.lm.request(
@@ -247,8 +270,8 @@ class Scheduler:
                         op.resource,
                         op.mode,
                         instant=op.instant,
-                        on_grant=self._make_grant_callback(process),
-                        on_deadlock=self._make_deadlock_callback(process),
+                        on_grant=process.on_grant,
+                        on_deadlock=process.on_deadlock,
                     )
                 except RXConflictError as conflict:
                     txn.metrics.rx_backoffs += 1
@@ -258,15 +281,36 @@ class Scheduler:
                     self._suspend_on_lock(process)
                     return
                 send_value = request
-            elif isinstance(op, Convert):
+            elif op_cls is FetchPage:
+                # Checked before the rarer op kinds (identity test: op
+                # classes are final): fetches and releases
+                # dominate the op mix in every experiment.
+                txn.metrics.pages_read += 1
+                contains = self._buffer_contains
+                if contains is not None:
+                    cost = self.hit_time if contains(op.page_id) else self.io_time
+                    page = self.store.get(op.page_id)
+                else:
+                    cost = self.io_time
+                    page = None
+                self._schedule(self.now + cost, partial(self._resume, process, page))
+                return
+            elif op_cls is Release:
+                self.lm.release(txn, op.resource, op.mode)
+            elif op_cls is Think:
+                self._schedule(
+                    self.now + op.duration, partial(self._resume, process, None)
+                )
+                return
+            elif op_cls is Convert:
                 txn.metrics.lock_requests += 1
                 try:
                     request = self.lm.convert(
                         txn,
                         op.resource,
                         op.mode,
-                        on_grant=self._make_grant_callback(process),
-                        on_deadlock=self._make_deadlock_callback(process),
+                        on_grant=process.on_grant,
+                        on_deadlock=process.on_deadlock,
                     )
                 except RXConflictError as conflict:
                     txn.metrics.rx_backoffs += 1
@@ -276,33 +320,16 @@ class Scheduler:
                     self._suspend_on_lock(process)
                     return
                 send_value = request
-            elif isinstance(op, Downgrade):
+            elif op_cls is Downgrade:
                 self.lm.downgrade(txn, op.resource, op.from_mode, op.to_mode)
-            elif isinstance(op, Release):
-                self.lm.release(txn, op.resource, op.mode)
-            elif isinstance(op, ReleaseAll):
+            elif op_cls is ReleaseAll:
                 self.lm.release_all(txn)
-            elif isinstance(op, FetchPage):
-                cost = self._fetch_cost(op.page_id)
-                txn.metrics.pages_read += 1
-                page = self.store.get(op.page_id) if self.store else None
-                self._schedule(
-                    self.now + cost,
-                    lambda p=process, pg=page: self._step(p, send_value=pg),
-                )
-                return
-            elif isinstance(op, Think):
-                self._schedule(
-                    self.now + op.duration,
-                    lambda p=process: self._step(p, send_value=None),
-                )
-                return
-            elif isinstance(op, Log):
+            elif op_cls is Log:
                 if self.log is None:
                     send_value = 0
                 else:
                     send_value = self.log.append(op.record)
-            elif isinstance(op, Call):
+            elif op_cls is Call:
                 try:
                     send_value = op.fn()  # type: ignore[operator]
                 except CrashPoint as crash:
@@ -315,10 +342,9 @@ class Scheduler:
             f"consuming simulated time"
         )
 
-    def _fetch_cost(self, page_id) -> float:
-        if self.store is not None and self.store.buffer.contains(page_id):
-            return self.hit_time
-        return self.io_time
+    def _resume(self, process: _Process, value: Any) -> None:
+        """Timer/grant continuation: re-enter ``_step`` with a sent value."""
+        self._step(process, send_value=value)
 
     def _suspend_on_lock(self, process: _Process) -> None:
         process.txn.metrics.blocks += 1
@@ -332,9 +358,7 @@ class Scheduler:
             if process.waiting_since is not None:
                 process.txn.metrics.wait_time += self.now - process.waiting_since
                 process.waiting_since = None
-            self._schedule(
-                self.now, lambda: self._step(process, send_value=request)
-            )
+            self._schedule(self.now, partial(self._resume, process, request))
 
         return on_grant
 

@@ -79,61 +79,19 @@ def apply_record(
     skipped and missing pages are rebuilt where the record carries a full
     image (format records) or ignored where it cannot matter.
     """
-    if isinstance(record, LeafInsertRecord):
-        return _apply_leaf_insert(store, record, redo)
-    if isinstance(record, LeafDeleteRecord):
-        return _apply_leaf_delete(store, record, redo)
-    if isinstance(record, CompensationRecord):
-        return _apply_clr(store, record, redo)
-    if isinstance(record, LeafFormatRecord):
-        return _apply_leaf_format(store, record, redo)
-    if isinstance(record, InternalFormatRecord):
-        return _apply_internal_format(store, record, redo)
-    if isinstance(record, BaseEntryInsertRecord):
-        return _apply_base_insert(store, record, redo)
-    if isinstance(record, BaseEntryDeleteRecord):
-        return _apply_base_delete(store, record, redo)
-    if isinstance(record, BaseEntryUpdateRecord):
-        return _apply_base_update(store, record, redo)
-    if isinstance(record, SidePointerRecord):
-        return _apply_side_pointer(store, record, redo)
-    if isinstance(record, AllocRecord):
-        return _apply_alloc(store, record, redo)
-    if isinstance(record, FreeRecord):
-        return _apply_free(store, record, redo)
-    if isinstance(record, ReorgMoveOutRecord):
-        return _apply_move_out(store, record, redo, stash)
-    if isinstance(record, ReorgMoveInRecord):
-        return _apply_move_in(store, record, redo, stash)
-    if isinstance(record, ReorgSwapRecord):
-        return _apply_swap(store, record, redo)
-    if isinstance(record, ReorgModifyRecord):
-        return _apply_modify(store, record, redo)
-    raise LogError(f"record type {type(record).__name__} has no page effects")
+    record_type = type(record)
+    handler = _PLAIN_HANDLERS.get(record_type)
+    if handler is not None:
+        return handler(store, record, redo)
+    handler = _STASH_HANDLERS.get(record_type)
+    if handler is not None:
+        return handler(store, record, redo, stash)
+    raise LogError(f"record type {record_type.__name__} has no page effects")
 
 
 def is_redoable(record: LogRecord) -> bool:
     """Whether the record type carries page effects ``apply_record`` knows."""
-    return isinstance(
-        record,
-        (
-            LeafInsertRecord,
-            LeafDeleteRecord,
-            CompensationRecord,
-            LeafFormatRecord,
-            InternalFormatRecord,
-            BaseEntryInsertRecord,
-            BaseEntryDeleteRecord,
-            BaseEntryUpdateRecord,
-            SidePointerRecord,
-            AllocRecord,
-            FreeRecord,
-            ReorgMoveOutRecord,
-            ReorgMoveInRecord,
-            ReorgSwapRecord,
-            ReorgModifyRecord,
-        ),
-    )
+    return type(record) in _REDOABLE_TYPES
 
 
 # -- user / structural records ------------------------------------------------
@@ -317,6 +275,16 @@ def _apply_move_in(
                 f"stashed contents from MoveOut LSN {record.move_out_lsn}"
             )
         moved = stash.pop(record.move_out_lsn)
+        if redo:
+            # The write-before edge registered when the move first ran is
+            # volatile and died with the crash.  Redo has just re-created
+            # the same in-memory state (org dirty without the records, dest
+            # dirty with them), so the same ordering constraint must be
+            # re-established: the org page may not reach disk before the
+            # dest, or a second crash would strand the keys-only records.
+            store.buffer.add_write_dependency(
+                source=record.org_page, dest=record.dest_page
+            )
     for moved_record in moved:
         page.insert(moved_record)
     store.mark_dirty(page.page_id, record.lsn)
@@ -349,6 +317,13 @@ def _apply_swap(store, record: ReorgSwapRecord, redo: bool):
             )
         page_a.replace_all(contents_for_a)
         store.mark_dirty(page_a.page_id, record.lsn)
+        if redo and not record.records_b:
+            # Same volatile-edge problem as MoveIn: A's redo sourced B's
+            # unlogged contents from B's pre-swap image, so B must again be
+            # barred from disk until the rebuilt A is durable.
+            store.buffer.add_write_dependency(
+                source=record.page_b, dest=record.page_a
+            )
     if redo_b:
         page_b.replace_all(list(record.records_a))
         store.mark_dirty(page_b.page_id, record.lsn)
@@ -402,3 +377,31 @@ def _fetch_or_create_internal(store, page_id: PageId, level: int) -> InternalPag
     store.buffer.put_new(page)
     store.free_map.mark_allocated(page_id)
     return page
+
+
+# -- dispatch tables -----------------------------------------------------------
+# Exact-type dispatch: no record class subclasses another concrete record
+# class, so a dict lookup replaces the isinstance chain on the hot path.
+
+_PLAIN_HANDLERS = {
+    LeafInsertRecord: _apply_leaf_insert,
+    LeafDeleteRecord: _apply_leaf_delete,
+    CompensationRecord: _apply_clr,
+    LeafFormatRecord: _apply_leaf_format,
+    InternalFormatRecord: _apply_internal_format,
+    BaseEntryInsertRecord: _apply_base_insert,
+    BaseEntryDeleteRecord: _apply_base_delete,
+    BaseEntryUpdateRecord: _apply_base_update,
+    SidePointerRecord: _apply_side_pointer,
+    AllocRecord: _apply_alloc,
+    FreeRecord: _apply_free,
+    ReorgSwapRecord: _apply_swap,
+    ReorgModifyRecord: _apply_modify,
+}
+
+_STASH_HANDLERS = {
+    ReorgMoveOutRecord: _apply_move_out,
+    ReorgMoveInRecord: _apply_move_in,
+}
+
+_REDOABLE_TYPES = frozenset(_PLAIN_HANDLERS) | frozenset(_STASH_HANDLERS)

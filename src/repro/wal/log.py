@@ -80,21 +80,23 @@ class LogManager:
 
     def append(self, record: LogRecord) -> int:
         """Assign the next LSN to ``record`` and append it (volatile)."""
-        record.lsn = self.next_lsn
+        record.lsn = lsn = len(self._records) + 1
         self._records.append(record)
         size = record.log_bytes()
-        self.stats.records_appended += 1
-        self.stats.bytes_appended += size
-        if isinstance(record, ReorgRecord):
-            self.stats.reorg_records += 1
-            self.stats.reorg_bytes += size
-            if isinstance(record, (ReorgMoveInRecord, ReorgMoveOutRecord)):
-                self.stats.move_bytes += size
-            elif isinstance(record, ReorgSwapRecord):
-                self.stats.swap_bytes += size
-        if isinstance(record, CheckpointRecord):
-            self._last_checkpoint_lsn = record.lsn
-        return record.lsn
+        stats = self.stats
+        stats.records_appended += 1
+        stats.bytes_appended += size
+        if record.is_reorg:
+            stats.reorg_records += 1
+            stats.reorg_bytes += size
+            record_type = type(record)
+            if record_type is ReorgMoveInRecord or record_type is ReorgMoveOutRecord:
+                stats.move_bytes += size
+            elif record_type is ReorgSwapRecord:
+                stats.swap_bytes += size
+        elif type(record) is CheckpointRecord:
+            self._last_checkpoint_lsn = lsn
+        return lsn
 
     def flush(self, up_to_lsn: int | None = None) -> None:
         """Make records with LSN <= ``up_to_lsn`` stable (default: all)."""

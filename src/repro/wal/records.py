@@ -56,6 +56,10 @@ class LogRecord:
     lsn: int = field(default=0, init=False)
     prev_lsn: int = 0
 
+    #: Class flag the log manager reads instead of an isinstance check on
+    #: every append (set by the ReorgRecord branch of the hierarchy).
+    is_reorg = False
+
     def log_bytes(self) -> int:
         return _HEADER_FIELDS * _INT_BYTES
 
@@ -86,7 +90,9 @@ class LeafInsertRecord(TxnRecord):
     tree_name: str = "primary"
 
     def log_bytes(self) -> int:
-        return super().log_bytes() + _INT_BYTES + _records_bytes((self.record,))
+        # == header + page_id + one record (key + payload), inlined: this
+        # runs once per user insert/delete, the hottest log-size path.
+        return (_HEADER_FIELDS + 2) * _INT_BYTES + len(self.record.payload)
 
 
 @dataclass
@@ -99,7 +105,9 @@ class LeafDeleteRecord(TxnRecord):
     tree_name: str = "primary"
 
     def log_bytes(self) -> int:
-        return super().log_bytes() + _INT_BYTES + _records_bytes((self.record,))
+        # == header + page_id + one record (key + payload), inlined: this
+        # runs once per user insert/delete, the hottest log-size path.
+        return (_HEADER_FIELDS + 2) * _INT_BYTES + len(self.record.payload)
 
 
 @dataclass
@@ -270,6 +278,8 @@ class ReorgRecord(LogRecord):
     """Base for records in a reorganization unit's chain."""
 
     unit_id: int = 0
+
+    is_reorg = True
 
 
 @dataclass
