@@ -102,7 +102,11 @@ def measure_range_scan(tree: BPlusTree, low: int, high: int) -> ScanCost:
             continue
         if preview.min_key() > high or preview.max_key() < low:
             continue
-        page = disk.read(leaf_id) if disk.has_image(leaf_id) else preview
+        page = (
+            disk.read(leaf_id)  # reprolint: disable=buffer-bypass -- read-only I/O cost model; counts raw disk reads on purpose
+            if disk.has_image(leaf_id)
+            else preview
+        )
         for record in page.records:  # type: ignore[union-attr]
             if low <= record.key <= high:
                 records += 1

@@ -59,6 +59,10 @@ class TreeConfig:
             (paper section 5, citing [LT95]).
         seek_cost: simulated cost of a non-sequential page read, used by the
             range-scan cost model.  A sequential read costs 1.0.
+        sanitizer: install the runtime lock/WAL sanitizer
+            (:mod:`repro.analysis.sanitizer`) when the database is built.
+            The patches are process-wide and strict (violations raise);
+            leave False outside tests — the off path costs nothing.
     """
 
     leaf_capacity: int = 32
@@ -69,6 +73,7 @@ class TreeConfig:
     buffer_pool_pages: int = 256
     careful_writing: bool = True
     seek_cost: float = 10.0
+    sanitizer: bool = False
 
     def __post_init__(self) -> None:
         if self.leaf_capacity < 2:

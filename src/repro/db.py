@@ -50,6 +50,12 @@ class Database:
 
     def __init__(self, config: TreeConfig | None = None):
         self.config = config or TreeConfig()
+        if self.config.sanitizer:
+            # Opt-in runtime protocol checks; patches are class-level, so
+            # installing before building the store shadows it from birth.
+            from repro.analysis.sanitizer import install
+
+            install()
         self.store = StorageManager(self.config)
         self.log = LogManager()
         self.store.set_wal(self.log)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import Any, Generator
 
 from repro.config import ReorgConfig
 from repro.db import Database
@@ -64,7 +65,7 @@ class ParallelReorgProtocol(ReorgProtocol):
         self.base_partition = base_partition
         self.engine._unit_ids = shared_ids
 
-    def pass1(self):
+    def pass1(self) -> Generator[Any, Any, dict]:
         """Pass 1 restricted to this worker's base pages.
 
         Identical locking to the single-process protocol; new-place

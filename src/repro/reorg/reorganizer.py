@@ -25,6 +25,7 @@ Crash handling::
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.btree.tree import BPlusTree
 from repro.config import ReorgConfig
@@ -80,8 +81,8 @@ class Reorganizer:
     def run_pass3(
         self,
         *,
-        during_scan=None,
-        during_catchup=None,
+        during_scan: Callable[[TreeShrinker], None] | None = None,
+        during_catchup: Callable[[TreeShrinker], None] | None = None,
         resume_from: int | None = None,
         shrinker: TreeShrinker | None = None,
     ) -> tuple[Pass3Stats, SwitchStats]:
@@ -106,8 +107,8 @@ class Reorganizer:
     def run(
         self,
         *,
-        during_scan=None,
-        during_catchup=None,
+        during_scan: Callable[[TreeShrinker], None] | None = None,
+        during_catchup: Callable[[TreeShrinker], None] | None = None,
         skip_pass3: bool = False,
     ) -> ReorgReport:
         """Run the full three-pass reorganization."""

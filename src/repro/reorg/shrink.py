@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.btree.bulkload import build_upper_levels
 from repro.btree.tree import BPlusTree
@@ -137,7 +138,12 @@ class TreeShrinker:
 
     # -- scanning the old base level -----------------------------------------------------
 
-    def scan(self, during_scan=None, *, resume_from: int | None = None) -> None:
+    def scan(
+        self,
+        during_scan: Callable[["TreeShrinker"], None] | None = None,
+        *,
+        resume_from: int | None = None,
+    ) -> None:
         """Read old base pages in key order, emitting new base pages.
 
         ``during_scan(shrinker)`` runs after each base page is finished —
@@ -352,7 +358,12 @@ class TreeShrinker:
         self.stats.sidefile_applied += applied
         return applied
 
-    def catch_up(self, during_catchup=None, *, max_rounds: int = 100) -> None:
+    def catch_up(
+        self,
+        during_catchup: Callable[["TreeShrinker"], None] | None = None,
+        *,
+        max_rounds: int = 100,
+    ) -> None:
         """Drain the side file, looping while concurrent activity refills
         it ("Since leaf page splits don't happen very often, we will
         eventually catch up all the changes")."""

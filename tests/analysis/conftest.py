@@ -1,0 +1,64 @@
+"""Make ``tools/reprolint`` importable for the static-analysis tests.
+
+The lint engine is developer tooling, not part of the library, so it lives
+under ``tools/`` and is not on the normal ``PYTHONPATH=src`` path.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TOOLS = str(REPO_ROOT / "tools")
+if TOOLS not in sys.path:
+    sys.path.insert(0, TOOLS)
+
+
+class SanProbe:
+    """View of an installed sanitizer scoped to one test: diagnostics are
+    counted from the probe's creation, so a session-wide sanitizer (the
+    ``REPRO_SANITIZER=1`` fixture) does not leak earlier observations into
+    this test's assertions."""
+
+    def __init__(self, instance):
+        self.instance = instance
+        self._start = len(instance.diagnostics)
+
+    @property
+    def checks(self):
+        return self.instance.checks
+
+    @property
+    def new(self):
+        return self.instance.diagnostics[self._start:]
+
+    def new_violations(self, kind=None):
+        return [
+            d
+            for d in self.new
+            if d.severity == "violation" and (kind is None or d.kind == kind)
+        ]
+
+    def new_warnings(self, kind=None):
+        return [
+            d
+            for d in self.new
+            if d.severity == "warning" and (kind is None or d.kind == kind)
+        ]
+
+    def suspended(self):
+        return self.instance.suspended()
+
+
+@pytest.fixture
+def san():
+    """Install the sanitizer for one test (reusing and preserving a
+    pre-installed session-level instance) and hand out a scoped probe."""
+    from repro.analysis import sanitizer
+
+    pre = sanitizer.active()
+    probe = SanProbe(sanitizer.install())
+    yield probe
+    if pre is None:
+        sanitizer.uninstall()

@@ -1,0 +1,21 @@
+"""The real tree lints clean: ``python -m reprolint src tests`` exits 0.
+
+This is the acceptance gate the CI ``lint`` job enforces; running it from
+the tier-1 suite as well means a PR cannot land a violation and only find
+out in CI.
+"""
+
+from tests.analysis.conftest import REPO_ROOT
+
+from reprolint.engine import lint_paths
+
+
+def test_src_and_tests_lint_clean():
+    findings = lint_paths(["src", "tests"], root=REPO_ROOT)
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_tools_lint_clean():
+    # The linter holds itself to its own hygiene rules.
+    findings = lint_paths(["tools"], root=REPO_ROOT)
+    assert findings == [], "\n".join(str(f) for f in findings)

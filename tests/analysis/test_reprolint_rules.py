@@ -1,0 +1,524 @@
+"""Every reprolint rule fires on a seeded violation and stays quiet on the
+corresponding clean idiom; suppression directives work as documented."""
+
+import json
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from tests.analysis.conftest import REPO_ROOT
+
+from reprolint.engine import all_rules, lint_source
+
+
+def findings_for(path: str, source: str, *rules: str):
+    return lint_source(
+        path,
+        textwrap.dedent(source),
+        root=REPO_ROOT,
+        rules=list(rules) or None,
+    )
+
+
+def rule_names(findings) -> set:
+    return {f.rule for f in findings}
+
+
+# -- page-internals -----------------------------------------------------------
+
+
+class TestPageInternals:
+    def test_fires_on_private_container_access(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def corrupt(page, record):
+                page._records.append(record)
+            """,
+            "page-internals",
+        )
+        assert rule_names(found) == {"page-internals"}
+
+    def test_fires_on_page_field_assignment(self):
+        found = findings_for(
+            "src/repro/reorg/seeded.py",
+            """
+            def relink(leaf, other):
+                leaf.next_leaf = other.page_id
+            """,
+            "page-internals",
+        )
+        assert rule_names(found) == {"page-internals"}
+
+    def test_quiet_inside_storage_layer_and_wal_apply(self):
+        source = """
+        def mutate(page, record):
+            page._records.append(record)
+        """
+        for path in ("src/repro/storage/seeded.py", "src/repro/wal/apply.py"):
+            assert findings_for(path, source, "page-internals") == []
+
+    def test_quiet_on_self_access(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            class Thing:
+                def mutate(self, record):
+                    self._records.append(record)
+            """,
+            "page-internals",
+        )
+        assert found == []
+
+
+# -- lock-release-pairing -----------------------------------------------------
+
+
+class TestLockReleasePairing:
+    def test_fires_on_unpaired_request(self):
+        found = findings_for(
+            "src/repro/reorg/seeded.py",
+            """
+            def grab(lm, owner, resource, mode):
+                lm.request(owner, resource, mode)
+            """,
+            "lock-release-pairing",
+        )
+        assert rule_names(found) == {"lock-release-pairing"}
+
+    def test_quiet_when_released_in_same_function(self):
+        found = findings_for(
+            "src/repro/reorg/seeded.py",
+            """
+            def grab(lm, owner, resource, mode):
+                lm.request(owner, resource, mode)
+                lm.release(owner, resource, mode)
+            """,
+            "lock-release-pairing",
+        )
+        assert found == []
+
+    def test_quiet_on_instant_requests(self):
+        found = findings_for(
+            "src/repro/reorg/seeded.py",
+            """
+            def backoff(lm, owner, resource, mode):
+                lm.request(owner, resource, mode, instant=True)
+            """,
+            "lock-release-pairing",
+        )
+        assert found == []
+
+    def test_held_across_escape(self):
+        found = findings_for(
+            "src/repro/reorg/seeded.py",
+            """
+            def grab(lm, owner, resource, mode):
+                lm.request(owner, resource, mode)  # reprolint: held-across -- released by caller at unit end
+            """,
+            "lock-release-pairing",
+        )
+        assert found == []
+
+    def test_quiet_when_conversion_present(self):
+        found = findings_for(
+            "src/repro/reorg/seeded.py",
+            """
+            def upgrade(lm, owner, resource, s_mode, x_mode):
+                lm.request(owner, resource, s_mode)
+                lm.convert(owner, resource, x_mode)
+            """,
+            "lock-release-pairing",
+        )
+        assert found == []
+
+
+# -- buffer-bypass ------------------------------------------------------------
+
+
+class TestBufferBypass:
+    def test_fires_on_direct_disk_write(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def stomp(disk, page):
+                disk.write(page)
+            """,
+            "buffer-bypass",
+        )
+        assert rule_names(found) == {"buffer-bypass"}
+
+    def test_fires_on_write_page(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def stomp(store, page):
+                store.write_page(page)
+            """,
+            "buffer-bypass",
+        )
+        assert rule_names(found) == {"buffer-bypass"}
+
+    def test_quiet_inside_storage_layer(self):
+        found = findings_for(
+            "src/repro/storage/seeded.py",
+            """
+            def flush(self, frame):
+                self._disk.write(frame.page)
+            """,
+            "buffer-bypass",
+        )
+        assert found == []
+
+
+# -- bare-except --------------------------------------------------------------
+
+
+class TestBareExcept:
+    def test_fires_everywhere_even_tests(self):
+        source = """
+        def swallow(fn):
+            try:
+                fn()
+            except:
+                pass
+        """
+        assert rule_names(
+            findings_for("tests/seeded.py", source, "bare-except")
+        ) == {"bare-except"}
+        assert rule_names(
+            findings_for("src/repro/seeded.py", source, "bare-except")
+        ) == {"bare-except"}
+
+    def test_quiet_on_typed_except(self):
+        found = findings_for(
+            "src/repro/seeded.py",
+            """
+            def swallow(fn):
+                try:
+                    fn()
+                except ValueError:
+                    pass
+            """,
+            "bare-except",
+        )
+        assert found == []
+
+
+# -- perf-counters ------------------------------------------------------------
+
+
+class TestPerfCounters:
+    def test_fires_on_unregistered_counter(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def bump(_COUNTERS):
+                _COUNTERS.nonexistent_counter += 1
+            """,
+            "perf-counters",
+        )
+        assert rule_names(found) == {"perf-counters"}
+
+    def test_quiet_on_registered_counter(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def bump(_COUNTERS):
+                _COUNTERS.buffer_hits += 1
+            """,
+            "perf-counters",
+        )
+        assert found == []
+
+    def test_registry_is_read_from_perf_py(self):
+        # Sanity-check the cross-file fact the rule depends on.
+        from reprolint.rules import _perf_counter_slots
+
+        slots = _perf_counter_slots(REPO_ROOT)
+        assert "buffer_hits" in slots
+        assert "wal_flush_skips" in slots
+        assert "nonexistent_counter" not in slots
+
+
+# -- public-annotations -------------------------------------------------------
+
+
+class TestPublicAnnotations:
+    def test_fires_on_unannotated_public_function(self):
+        found = findings_for(
+            "src/repro/reorg/seeded.py",
+            """
+            def run_pass(during_scan=None):
+                return during_scan
+            """,
+            "public-annotations",
+        )
+        assert rule_names(found) == {"public-annotations"}
+
+    def test_quiet_on_private_nested_and_annotated(self):
+        found = findings_for(
+            "src/repro/locks/seeded.py",
+            """
+            def _helper(x):
+                def nested(y):
+                    return y
+                return nested(x)
+
+            class Manager:
+                def release(self, owner: object, resource: object) -> None:
+                    pass
+            """,
+            "public-annotations",
+        )
+        assert found == []
+
+    def test_scoped_to_reorg_and_locks_only(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def run_pass(during_scan=None):
+                return during_scan
+            """,
+            "public-annotations",
+        )
+        assert found == []
+
+
+# -- rs-instant ---------------------------------------------------------------
+
+
+class TestRSInstant:
+    def test_fires_on_durable_rs(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def backoff(lm, owner, base):
+                lm.request(owner, base, LockMode.RS)
+            """,
+            "rs-instant",
+        )
+        assert rule_names(found) >= {"rs-instant"}
+
+    def test_fires_on_acquire_op_too(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def protocol(base):
+                yield Acquire(base, RS)
+            """,
+            "rs-instant",
+        )
+        assert rule_names(found) == {"rs-instant"}
+
+    def test_quiet_with_instant_true(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def protocol(base):
+                yield Acquire(base, RS, instant=True)
+            """,
+            "rs-instant",
+        )
+        assert found == []
+
+
+# -- mark-dirty-lsn -----------------------------------------------------------
+
+
+class TestMarkDirtyLSN:
+    def test_fires_without_lsn(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def dirty(store, pid):
+                store.mark_dirty(pid)
+            """,
+            "mark-dirty-lsn",
+        )
+        assert rule_names(found) == {"mark-dirty-lsn"}
+
+    def test_quiet_with_lsn(self):
+        source = """
+        def dirty(store, pid, lsn):
+            store.mark_dirty(pid, lsn)
+            store.mark_dirty(pid, lsn=lsn)
+        """
+        assert findings_for(
+            "src/repro/btree/seeded.py", source, "mark-dirty-lsn"
+        ) == []
+
+    def test_quiet_inside_storage(self):
+        found = findings_for(
+            "src/repro/storage/seeded.py",
+            """
+            def dirty(self, pid):
+                self.buffer.mark_dirty(pid)
+            """,
+            "mark-dirty-lsn",
+        )
+        assert found == []
+
+
+# -- lockmode-literal ---------------------------------------------------------
+
+
+class TestLockModeLiteral:
+    def test_fires_on_string_mode_compare(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def is_exclusive(request):
+                return request.mode == "X"
+            """,
+            "lockmode-literal",
+        )
+        assert rule_names(found) == {"lockmode-literal"}
+
+    def test_fires_on_string_construction(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def parse(LockMode):
+                return LockMode("RX")
+            """,
+            "lockmode-literal",
+        )
+        assert rule_names(found) == {"lockmode-literal"}
+
+    def test_quiet_on_member_compare(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def is_exclusive(request, LockMode):
+                return request.mode is LockMode.X
+            """,
+            "lockmode-literal",
+        )
+        assert found == []
+
+
+# -- suppression-reason -------------------------------------------------------
+
+
+class TestSuppressionReason:
+    def test_fires_on_reasonless_directive(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def swallow(fn):
+                try:
+                    fn()
+                except:  # reprolint: disable=bare-except
+                    pass
+            """,
+            "bare-except",
+            "suppression-reason",
+        )
+        # The disable still works, but the missing reason is flagged.
+        assert rule_names(found) == {"suppression-reason"}
+
+    def test_quiet_with_reason(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def swallow(fn):
+                try:
+                    fn()
+                except:  # reprolint: disable=bare-except -- fuzz harness must survive anything
+                    pass
+            """,
+            "bare-except",
+            "suppression-reason",
+        )
+        assert found == []
+
+
+# -- engine behaviour ---------------------------------------------------------
+
+
+class TestEngine:
+    def test_syntax_error_is_a_finding_not_a_crash(self):
+        found = findings_for("src/repro/broken.py", "def broken(:\n")
+        assert rule_names(found) == {"syntax-error"}
+
+    def test_disable_file_suppresses_everywhere(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            # reprolint: disable-file=bare-except -- seeded corpus file
+            def swallow(fn):
+                try:
+                    fn()
+                except:
+                    pass
+            """,
+            "bare-except",
+        )
+        assert found == []
+
+    def test_unknown_rule_selection_raises(self):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            findings_for("src/repro/x.py", "x = 1\n", "no-such-rule")
+
+    def test_catalogue_has_at_least_eight_rules(self):
+        names = {rule.name for rule in all_rules()}
+        assert len(names) >= 8
+        assert {
+            "page-internals",
+            "lock-release-pairing",
+            "buffer-bypass",
+            "bare-except",
+            "perf-counters",
+            "public-annotations",
+        } <= names
+
+    def test_findings_sorted_and_serializable(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def bad(disk, page, store, pid):
+                store.mark_dirty(pid)
+                disk.write(page)
+            """,
+        )
+        assert [f.line for f in found] == sorted(f.line for f in found)
+        for finding in found:
+            as_dict = finding.to_dict()
+            assert set(as_dict) == {"rule", "path", "line", "col", "message"}
+            assert str(finding).startswith("src/repro/btree/seeded.py:")
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestCLI:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "reprolint", *args],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            env={"PYTHONPATH": "tools", "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_exit_zero_on_clean_file(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def fine() -> int:\n    return 1\n")
+        proc = self._run(str(clean))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_exit_one_and_json_on_findings(self, tmp_path):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("try:\n    pass\nexcept:\n    pass\n")
+        proc = self._run("--json", str(dirty))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload and payload[0]["rule"] == "bare-except"
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        assert "page-internals" in proc.stdout

@@ -1,0 +1,150 @@
+"""Lock conversion edge cases under the sanitizer's eye (ISSUE satellite):
+R->X and S->X conversions racing a queued RX request, and instant-duration
+RS during RX back-off.  The sanitizer validates the holder table after
+every transition, so these double as Table-1 audits of the conversion
+machinery."""
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.locks.manager import LockManager, RequestState
+from repro.locks.modes import LockMode
+from repro.locks.resources import page_lock
+
+S, X, R, RX, RS = (
+    LockMode.S, LockMode.X, LockMode.R, LockMode.RX, LockMode.RS,
+)
+
+BASE = page_lock(100)
+LEAF = page_lock(200)
+
+
+class Owner:
+    def __init__(self, name, is_reorganizer=False):
+        self.name = name
+        self.is_reorganizer = is_reorganizer
+
+    def __repr__(self):
+        return self.name
+
+
+@pytest.fixture
+def lm(san):
+    return LockManager()
+
+
+@pytest.fixture
+def reorg():
+    return Owner("reorg", is_reorganizer=True)
+
+
+@pytest.fixture
+def user():
+    return Owner("user")
+
+
+@pytest.fixture
+def user2():
+    return Owner("user2")
+
+
+class TestConversionRacingQueuedRX:
+    def test_s_to_x_converts_ahead_of_queued_rx(self, san, lm, reorg, user):
+        """An updater's S->X conversion must win over the reorganizer's
+        queued RX: conversions queue ahead of fresh requests, and the
+        holder table must stay Table-1 clean at every step."""
+        lm.request(user, LEAF, S)
+        rx = lm.request(reorg, LEAF, RX)  # S vs RX: No -> queued, not forgone
+        assert rx.state is RequestState.WAITING
+
+        conv = lm.convert(user, LEAF, X)  # only holder: converts in place
+        assert conv.state is RequestState.GRANTED
+        assert lm.holds(user, LEAF, X)
+        assert not lm.holds(user, LEAF, S)
+        assert rx.state is RequestState.WAITING  # still parked behind the X
+
+        lm.release(user, LEAF, X)
+        assert rx.state is RequestState.GRANTED
+        assert lm.holds(reorg, LEAF, RX)
+        assert san.new_violations("lock-table") == []
+        assert san.checks["lock-table"] > 0
+
+    def test_s_to_x_conversion_waits_for_second_reader_then_beats_rx(
+        self, san, lm, reorg, user, user2
+    ):
+        """With two S holders, the conversion waits for the other reader
+        but still dispatches ahead of the queued RX when it drains."""
+        lm.request(user, LEAF, S)
+        lm.request(user2, LEAF, S)
+        rx = lm.request(reorg, LEAF, RX)
+        conv = lm.convert(user, LEAF, X)
+        assert conv.state is RequestState.WAITING
+        # Conversions are inserted ahead of fresh requests in the queue.
+        queue = lm.waiters_of(LEAF)
+        assert queue.index(conv) < queue.index(rx)
+
+        lm.release(user2, LEAF, S)
+        assert conv.state is RequestState.GRANTED
+        assert rx.state is RequestState.WAITING
+        lm.release_all(user)
+        assert rx.state is RequestState.GRANTED
+        assert san.new_violations("lock-table") == []
+
+    def test_r_to_x_converts_while_rx_queued_elsewhere(
+        self, san, lm, reorg, user
+    ):
+        """The reorganizer's base-page R->X (key-update step) races its own
+        queued leaf RX; neither transition may corrupt the holder table."""
+        lm.request(reorg, BASE, R)
+        lm.request(user, LEAF, S)
+        rx = lm.request(reorg, LEAF, RX)  # queued behind the user's S
+        conv = lm.convert(reorg, BASE, X)
+        assert conv.state is RequestState.GRANTED
+        assert lm.holds(reorg, BASE, X)
+        assert rx.state is RequestState.WAITING
+
+        lm.downgrade(reorg, BASE, X, R)
+        assert lm.holds(reorg, BASE, R)
+        lm.release(user, LEAF, S)
+        assert rx.state is RequestState.GRANTED
+        assert san.new_violations("lock-table") == []
+
+
+class TestInstantRSDuringBackoff:
+    def test_rs_waits_for_reorganizer_r_and_is_never_held(
+        self, san, lm, reorg, user
+    ):
+        """Back-off: the forgoing user asks for instant RS on the base
+        page; it completes only when the reorganizer drops R, and must
+        never appear in the holder table (the sanitizer would raise)."""
+        lm.request(reorg, BASE, R)
+        rs = lm.request(user, BASE, RS, instant=True)
+        assert rs.state is RequestState.WAITING
+
+        lm.release(reorg, BASE, R)
+        assert rs.state is RequestState.INSTANT_DONE
+        assert lm.held_modes(user, BASE) == []
+        assert lm.holders_of(BASE) == {}
+        assert san.new_violations("lock-table") == []
+
+    def test_rs_instant_done_immediately_when_base_is_free(
+        self, san, lm, user
+    ):
+        rs = lm.request(user, BASE, RS, instant=True)
+        assert rs.state is RequestState.INSTANT_DONE
+        assert lm.holders_of(BASE) == {}
+
+    def test_rs_during_conversion_window(self, san, lm, reorg, user):
+        """RS requested while the reorganizer holds the short X window
+        (base-page key update) completes only after the downgrade chain
+        releases the base page."""
+        lm.request(reorg, BASE, R)
+        lm.convert(reorg, BASE, X)
+        rs = lm.request(user, BASE, RS, instant=True)
+        assert rs.state is RequestState.WAITING  # RS waits for R and X
+
+        lm.downgrade(reorg, BASE, X, R)
+        assert rs.state is RequestState.WAITING  # R still blocks RS
+        lm.release(reorg, BASE, R)
+        assert rs.state is RequestState.INSTANT_DONE
+        assert san.new_violations("lock-table") == []

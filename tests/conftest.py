@@ -32,6 +32,25 @@ def make_env(
     return store, log
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _runtime_sanitizer():
+    """Wrap the whole suite in the runtime lock/WAL sanitizer when
+    ``REPRO_SANITIZER=1`` — every existing test doubles as a protocol
+    check (the CI ``sanitizer`` job runs tier-1 this way)."""
+    import os
+
+    if os.environ.get("REPRO_SANITIZER") != "1":
+        yield
+        return
+    from repro.analysis.sanitizer import install, uninstall
+
+    install()
+    try:
+        yield
+    finally:
+        uninstall()
+
+
 @pytest.fixture
 def env():
     return make_env()

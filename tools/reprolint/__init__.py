@@ -1,0 +1,25 @@
+"""reprolint — protocol-aware static analysis for the reorganization engine.
+
+A small AST-based lint engine with repo-specific rules that encode the
+paper's correctness discipline (WAL-before-write, Table-1 locking, perf
+counter registry, ...) as machine-checkable facts.  See
+``docs/static_analysis.md`` for the rule catalogue and suppression syntax.
+
+Usage::
+
+    PYTHONPATH=tools python -m reprolint src tests
+    PYTHONPATH=tools python -m reprolint --json src
+    PYTHONPATH=tools python -m reprolint --list-rules
+"""
+
+from reprolint.engine import (  # noqa: F401
+    Finding,
+    LintContext,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+)
+
+__version__ = "1.0.0"

@@ -1,0 +1,72 @@
+"""CLI entry point: ``python -m reprolint [--json] [--rules a,b] PATH...``.
+
+Exit status 0 means no findings; 1 means findings; 2 means usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from reprolint.engine import all_rules, lint_paths
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="protocol-aware static analysis for the reorganization engine",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as a JSON array"
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root anchoring rule path scoping (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = "everywhere" if rule.include is None else ", ".join(rule.include)
+            print(f"{rule.name:24s} [{scope}] {rule.description}")
+        return 0
+
+    rule_names = None
+    if args.rules:
+        rule_names = [name.strip() for name in args.rules.split(",") if name.strip()]
+    try:
+        findings = lint_paths(args.paths, root=args.root, rules=rule_names)
+    except (ValueError, OSError) as error:
+        print(f"reprolint: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding)
+        if findings:
+            print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

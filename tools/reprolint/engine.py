@@ -1,0 +1,276 @@
+"""The lint engine: rule registry, suppression parsing, file walking.
+
+Design:
+
+* A :class:`Rule` owns a kebab-case ``name``, a short ``description`` and a
+  ``check(ctx)`` generator producing ``(line, col, message)`` tuples.  Most
+  rules are :mod:`ast` visitors over ``ctx.tree``.
+* Rules can scope themselves with ``include``/``exclude`` path prefixes
+  (posix-style, relative to the repository root).  Protocol rules target
+  ``src/repro/``; hygiene rules apply everywhere.  Scoping is part of the
+  rule definition, not configuration — the tool has no config file.
+* Suppressions are source comments (parsed with :mod:`tokenize`, so they
+  are never confused with string contents):
+
+  - ``# reprolint: disable=rule-a,rule-b -- reason``   one line
+  - ``# reprolint: disable-file=rule-a -- reason``     whole file
+  - ``# reprolint: held-across -- reason``             lock-pairing escape
+
+  Every suppression must carry a ``-- reason``; the ``suppression-reason``
+  meta-rule flags ones that do not.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Matches the reprolint directive inside a comment token.
+_DIRECTIVE_RE = re.compile(
+    r"#\s*reprolint:\s*"
+    r"(?P<directive>disable-file|disable|held-across)"
+    r"(?:\s*=\s*(?P<rules>[\w,\- ]+?))?"
+    r"\s*(?:--\s*(?P<reason>.+?))?\s*$"
+)
+
+#: Pseudo-rule name meaning "every rule" (bare ``disable`` with no list).
+ALL_RULES = "*"
+
+#: The rule name the ``held-across`` escape suppresses.
+HELD_ACROSS_RULE = "lock-release-pairing"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression state parsed from comments."""
+
+    #: line number -> set of suppressed rule names (may contain ALL_RULES).
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: rules suppressed for the whole file.
+    file_wide: set[str] = field(default_factory=set)
+    #: lines carrying a ``held-across`` escape.
+    held_across: set[int] = field(default_factory=set)
+    #: (line, directive-text) of directives missing a ``-- reason``.
+    missing_reason: list[tuple[int, str]] = field(default_factory=list)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self.file_wide or ALL_RULES in self.file_wide:
+            return True
+        on_line = self.by_line.get(line)
+        return bool(on_line) and (rule in on_line or ALL_RULES in on_line)
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract reprolint directives from a file's comments."""
+    sup = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenError:
+        comments = [
+            (i, line[line.index("#"):])
+            for i, line in enumerate(source.splitlines(), start=1)
+            if "#" in line
+        ]
+    for line, text in comments:
+        match = _DIRECTIVE_RE.search(text)
+        if match is None:
+            continue
+        directive = match.group("directive")
+        rules_text = match.group("rules")
+        names = (
+            {name.strip() for name in rules_text.split(",") if name.strip()}
+            if rules_text
+            else {ALL_RULES}
+        )
+        if not match.group("reason"):
+            sup.missing_reason.append((line, text.strip()))
+        if directive == "held-across":
+            sup.held_across.add(line)
+            sup.by_line.setdefault(line, set()).add(HELD_ACROSS_RULE)
+        elif directive == "disable-file":
+            sup.file_wide.update(names)
+        else:  # disable
+            sup.by_line.setdefault(line, set()).update(names)
+    return sup
+
+
+@dataclass
+class LintContext:
+    """Everything a rule gets to look at for one file."""
+
+    path: str  # posix path relative to the repository root
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+    #: Repository root; rules use it to locate cross-file facts (e.g. the
+    #: perf-counter registry in ``src/repro/perf.py``).
+    root: Path
+
+
+class Rule:
+    """Base class for lint rules.  Subclass and register."""
+
+    name: str = ""
+    description: str = ""
+    #: Only lint files whose relative path starts with one of these
+    #: prefixes (None = every file).
+    include: tuple[str, ...] | None = None
+    #: Never lint files whose relative path starts with one of these.
+    exclude: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if any(path.startswith(prefix) for prefix in self.exclude):
+            return False
+        if self.include is None:
+            return True
+        return any(path.startswith(prefix) for prefix in self.include)
+
+    def check(self, ctx: LintContext) -> Iterable[tuple[int, int, str]]:
+        raise NotImplementedError
+
+
+_REGISTRY: list[Rule] = []
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule (instantiated once) to the registry."""
+    if not rule_cls.name:
+        raise ValueError(f"rule {rule_cls.__name__} has no name")
+    if any(rule.name == rule_cls.name for rule in _REGISTRY):
+        raise ValueError(f"duplicate rule name {rule_cls.name!r}")
+    _REGISTRY.append(rule_cls())
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """The registered rules (importing :mod:`reprolint.rules` fills this)."""
+    import reprolint.rules  # noqa: F401  - registration side effect
+
+    return list(_REGISTRY)
+
+
+def _select(names: Iterable[str] | None) -> list[Rule]:
+    rules = all_rules()
+    if names is None:
+        return rules
+    wanted = set(names)
+    unknown = wanted - {rule.name for rule in rules}
+    if unknown:
+        raise ValueError(f"unknown rule(s): {', '.join(sorted(unknown))}")
+    return [rule for rule in rules if rule.name in wanted]
+
+
+def lint_source(
+    path: str,
+    source: str,
+    *,
+    root: Path | None = None,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one in-memory source blob under a virtual relative ``path``."""
+    path = Path(path).as_posix()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [
+            Finding(
+                rule="syntax-error",
+                path=path,
+                line=error.lineno or 1,
+                col=error.offset or 0,
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    ctx = LintContext(
+        path=path,
+        source=source,
+        tree=tree,
+        suppressions=parse_suppressions(source),
+        root=root or Path.cwd(),
+    )
+    findings: list[Finding] = []
+    for rule in _select(rules):
+        if not rule.applies_to(path):
+            continue
+        for line, col, message in rule.check(ctx):
+            if ctx.suppressions.is_suppressed(rule.name, line):
+                continue
+            findings.append(Finding(rule.name, path, line, col, message))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def iter_python_files(paths: Iterable[str | Path], root: Path) -> Iterator[Path]:
+    """Yield .py files under ``paths`` (files or directories), skipping
+    caches and hidden directories."""
+    for raw in paths:
+        start = (root / raw).resolve() if not Path(raw).is_absolute() else Path(raw)
+        if start.is_file():
+            if start.suffix == ".py":
+                yield start
+            continue
+        for candidate in sorted(start.rglob("*.py")):
+            parts = candidate.relative_to(start).parts
+            if any(p == "__pycache__" or p.startswith(".") for p in parts):
+                continue
+            yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    root: Path | None = None,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint every .py file under ``paths``; returns sorted findings.
+
+    ``root`` anchors relative-path rule scoping (default: the current
+    working directory — run from the repository root).
+    """
+    root = (root or Path.cwd()).resolve()
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths, root):
+        try:
+            rel = file_path.relative_to(root).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(rel, source, root=root, rules=rules))
+    findings.sort(key=Finding.sort_key)
+    return findings

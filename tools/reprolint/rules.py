@@ -1,0 +1,474 @@
+"""The rule catalogue — each rule encodes one invariant of the paper's
+protocol stack that Python itself cannot enforce.
+
+Rules report ``(line, col, message)`` tuples; the engine handles
+suppressions and path scoping.  ``docs/static_analysis.md`` documents each
+rule with examples; keep the two in sync when adding rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from reprolint.engine import LintContext, Rule, register
+
+#: Paths allowed to touch page internals / the raw disk: the storage layer
+#: itself and the do/redo interpreter (which IS the WAL apply path).
+_STORAGE_PATHS = ("src/repro/storage/",)
+_WAL_APPLY = "src/repro/wal/apply.py"
+
+#: Private per-page containers; mutating them directly skips the logged
+#: mutator methods and therefore the WAL.
+_PAGE_INTERNALS = {"_records", "_keys", "_children"}
+
+#: Public page fields whose *assignment* outside the sanctioned layers is a
+#: WAL bypass (they are all covered by log record types).
+_PAGE_FIELDS = {"page_lsn", "next_leaf", "prev_leaf", "low_mark"}
+
+_LOCK_MODE_NAMES = {"IS", "IX", "S", "X", "R", "RX", "RS"}
+
+
+def _is_self(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id in ("self", "cls")
+
+
+def _call_name(func: ast.expr) -> str | None:
+    """The trailing identifier of a call target (``a.b.c(...)`` -> ``c``)."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _keyword(call: ast.Call, name: str) -> ast.expr | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _is_true(node: ast.expr | None) -> bool:
+    return isinstance(node, ast.Constant) and node.value is True
+
+
+def _mentions_mode(node: ast.expr, mode: str) -> bool:
+    """Whether an expression is the bare name ``RS`` or ``LockMode.RS``."""
+    if isinstance(node, ast.Name):
+        return node.id == mode
+    if isinstance(node, ast.Attribute):
+        return node.attr == mode and isinstance(node.value, ast.Name) and (
+            node.value.id == "LockMode"
+        )
+    return False
+
+
+@register
+class PageInternalsRule(Rule):
+    """WAL-bypass detection: page state may only change through the logged
+    mutator methods; poking ``_records``/``_keys``/``_children`` (or
+    assigning ``page_lsn``/side pointers/low marks) outside the storage
+    layer and ``wal/apply.py`` mutates pages the log never heard about."""
+
+    name = "page-internals"
+    description = (
+        "no direct access to Page/LeafPage/InternalPage internals outside "
+        "repro/storage and repro/wal/apply.py"
+    )
+    include = ("src/",)
+    exclude = _STORAGE_PATHS + (_WAL_APPLY,)
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                if node.attr in _PAGE_INTERNALS and not _is_self(node.value):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"access to page-internal attribute {node.attr!r} "
+                        f"outside the storage layer (WAL bypass)",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and target.attr in _PAGE_FIELDS
+                        and not _is_self(target.value)
+                    ):
+                        yield (
+                            target.lineno,
+                            target.col_offset,
+                            f"assignment to page field {target.attr!r} outside "
+                            f"the storage layer (WAL bypass; log it instead)",
+                        )
+
+
+#: Call names that acquire a lock and ones that give one back.
+_ACQUIRES = {"request", "Acquire"}
+_RELEASES = {
+    "release",
+    "release_all",
+    "cancel_wait",
+    "downgrade",
+    "convert",
+    "Release",
+    "ReleaseAll",
+    "Downgrade",
+    "Convert",
+}
+
+
+@register
+class LockReleasePairingRule(Rule):
+    """Every lock acquisition must have a release/convert/downgrade on some
+    path in the same function, or carry a ``# reprolint: held-across``
+    escape explaining why the lock outlives the function."""
+
+    name = "lock-release-pairing"
+    description = (
+        "LockManager.request(...) / Acquire(...) paired with a release or "
+        "conversion in the same function (or '# reprolint: held-across')"
+    )
+    include = ("src/",)
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        held_across = ctx.suppressions.held_across
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            acquires: list[ast.Call] = []
+            releases = False
+            for sub in ast.walk(node):
+                if not isinstance(sub, ast.Call):
+                    continue
+                called = _call_name(sub.func)
+                if called in _ACQUIRES:
+                    # Instant-duration requests are never actually held, so
+                    # there is nothing to release.
+                    if not _is_true(_keyword(sub, "instant")):
+                        acquires.append(sub)
+                elif called in _RELEASES:
+                    releases = True
+            if releases:
+                continue
+            for call in acquires:
+                if call.lineno in held_across:
+                    continue
+                yield (
+                    call.lineno,
+                    call.col_offset,
+                    "lock acquired but no release/convert/downgrade appears "
+                    "in this function; add one or mark the line "
+                    "'# reprolint: held-across -- <why>'",
+                )
+
+
+@register
+class BufferBypassRule(Rule):
+    """All stable writes must flow through the buffer pool, whose flush
+    path enforces the write-ahead rule via its WALHook; writing (or
+    reading/erasing) the simulated disk directly skips that check."""
+
+    name = "buffer-bypass"
+    description = (
+        "no direct SimulatedDisk read/write/erase outside repro/storage "
+        "(bypasses the buffer pool's WALHook)"
+    )
+    include = ("src/",)
+    exclude = _STORAGE_PATHS
+
+    _DISK_METHODS = {"write", "read", "erase", "write_page"}
+    _DISK_NAMES = {"disk", "_disk"}
+
+    def _is_disk_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self._DISK_NAMES
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._DISK_NAMES
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "write_page":
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "write_page bypasses the buffer pool; use "
+                    "buffer.fetch/mark_dirty/flush_page",
+                )
+            elif func.attr in self._DISK_METHODS and self._is_disk_expr(func.value):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"direct disk.{func.attr}(...) bypasses the buffer pool "
+                    f"and its WAL hook; go through the StorageManager",
+                )
+
+
+@register
+class BareExceptRule(Rule):
+    """A bare ``except:`` swallows CrashPoint / KeyboardInterrupt and hides
+    protocol violations; always name the exceptions you mean."""
+
+    name = "bare-except"
+    description = "no bare 'except:' clauses anywhere"
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "bare 'except:' — name the exception types "
+                    "(a bare clause also swallows CrashPoint)",
+                )
+
+
+@lru_cache(maxsize=8)
+def _perf_counter_slots(root: Path) -> frozenset[str]:
+    """The registered counter names: PerfCounters.__slots__ in perf.py."""
+    perf_py = root / "src" / "repro" / "perf.py"
+    if not perf_py.is_file():
+        return frozenset()
+    tree = ast.parse(perf_py.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == "PerfCounters":
+            for stmt in node.body:
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and any(
+                        isinstance(t, ast.Name) and t.id == "__slots__"
+                        for t in stmt.targets
+                    )
+                    and isinstance(stmt.value, (ast.Tuple, ast.List))
+                ):
+                    return frozenset(
+                        el.value
+                        for el in stmt.value.elts
+                        if isinstance(el, ast.Constant) and isinstance(el.value, str)
+                    )
+    return frozenset()
+
+
+@register
+class PerfCounterRegistryRule(Rule):
+    """Counter bumps must hit slots that exist: a typo'd counter name on a
+    ``__slots__`` object raises AttributeError — but only on the first hit
+    of that code path, which benchmarks may never take."""
+
+    name = "perf-counters"
+    description = (
+        "repro.perf counter increments only on names registered in "
+        "PerfCounters.__slots__"
+    )
+
+    _RECEIVERS = {"_COUNTERS", "counters"}
+
+    def _is_counters_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self._RECEIVERS
+        if isinstance(node, ast.Attribute):
+            return node.attr == "counters"
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        slots = _perf_counter_slots(ctx.root)
+        if not slots:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.AugAssign, ast.Assign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and self._is_counters_expr(target.value)
+                    and target.attr not in slots
+                    and not target.attr.startswith("__")
+                ):
+                    yield (
+                        target.lineno,
+                        target.col_offset,
+                        f"counter {target.attr!r} is not registered in "
+                        f"PerfCounters.__slots__ (src/repro/perf.py)",
+                    )
+
+
+@register
+class PublicAnnotationsRule(Rule):
+    """The lock manager and the reorganizer are the protocol surface; their
+    public signatures must be fully typed so call-site mistakes (a mode
+    where a resource goes, a PageId where a key goes) surface in review."""
+
+    name = "public-annotations"
+    description = (
+        "public functions in repro/reorg/ and repro/locks/ carry full "
+        "parameter and return annotations"
+    )
+    include = ("src/repro/reorg/", "src/repro/locks/")
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        # Only top-level functions and methods: functions nested inside
+        # another function are implementation details.
+        yield from self._scan(ctx.tree.body)
+
+    def _scan(self, body: list[ast.stmt]) -> Iterator[tuple[int, int, str]]:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._scan(node.body)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                missing = [
+                    arg.arg
+                    for arg in (
+                        node.args.posonlyargs + node.args.args + node.args.kwonlyargs
+                    )
+                    if arg.annotation is None and arg.arg not in ("self", "cls")
+                ]
+                if node.returns is None:
+                    missing.append("return")
+                if missing:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"public function {node.name!r} is missing type "
+                        f"annotations for: {', '.join(missing)}",
+                    )
+
+
+@register
+class RSInstantRule(Rule):
+    """RS is the paper's unconditional *instant-duration* mode ([Moh90]):
+    it is never actually granted, so requesting it without instant=True is
+    a protocol error the lock manager only catches at run time."""
+
+    name = "rs-instant"
+    description = "every RS lock request passes instant=True"
+    include = ("src/",)
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(node.func) not in _ACQUIRES:
+                continue
+            if not any(_mentions_mode(arg, "RS") for arg in node.args):
+                continue
+            if not _is_true(_keyword(node, "instant")):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "RS requested without instant=True; RS is an "
+                    "instant-duration mode and is never held",
+                )
+
+
+@register
+class MarkDirtyLSNRule(Rule):
+    """Dirtying a page without stamping the covering log record's LSN
+    breaks the WAL-flush-skip fast path and the redo page-LSN test; only
+    the storage layer itself may dirty pages anonymously."""
+
+    name = "mark-dirty-lsn"
+    description = (
+        "mark_dirty(...) outside repro/storage must pass the covering log "
+        "record's LSN"
+    )
+    include = ("src/",)
+    exclude = _STORAGE_PATHS
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(node.func) != "mark_dirty":
+                continue
+            if len(node.args) < 2 and _keyword(node, "lsn") is None:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "mark_dirty without an LSN: pass the log record's LSN "
+                    "so the page-LSN chain stays intact",
+                )
+
+
+@register
+class LockModeLiteralRule(Rule):
+    """Lock modes are enum members; string spellings silently miss Table-1
+    dispatch (``'X' != LockMode.X``) and dodge the blank-cell check."""
+
+    name = "lockmode-literal"
+    description = (
+        "no string literals where a LockMode belongs (comparisons against "
+        "mode values, LockMode('X') round-trips)"
+    )
+    include = ("src/",)
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Compare):
+                sides = [node.left, *node.comparators]
+                has_mode_attr = any(
+                    isinstance(s, ast.Attribute) and s.attr == "mode" for s in sides
+                )
+                literal = next(
+                    (
+                        s
+                        for s in sides
+                        if isinstance(s, ast.Constant)
+                        and s.value in _LOCK_MODE_NAMES
+                    ),
+                    None,
+                )
+                if has_mode_attr and literal is not None:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"comparing a lock mode against the string "
+                        f"{literal.value!r}; use LockMode.{literal.value}",
+                    )
+            elif isinstance(node, ast.Call):
+                if (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id == "LockMode"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                ):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "constructing LockMode from a string literal; name "
+                        "the member directly",
+                    )
+
+
+@register
+class SuppressionReasonRule(Rule):
+    """Suppressions document accepted risk; an unexplained one is just a
+    silenced alarm.  Every directive must end with ``-- <reason>``."""
+
+    name = "suppression-reason"
+    description = "every reprolint suppression comment carries a '-- reason'"
+
+    def check(self, ctx: LintContext) -> Iterable[tuple[int, int, str]]:
+        for line, text in ctx.suppressions.missing_reason:
+            yield (
+                line,
+                0,
+                f"suppression without a reason: {text!r} — append "
+                f"'-- <why this is safe>'",
+            )
