@@ -114,6 +114,17 @@ class LockManager:
         #: resource -> FIFO list of waiting requests.
         self._queues: dict[Resource, list[LockRequest]] = {}
         self.stats = LockStats()
+        #: Explorer choice point (``repro.analysis.explorer``): when set,
+        #: permutes a multi-entry wait queue before each dispatch scan,
+        #: modelling the grant orders that different arrival interleavings
+        #: would have produced.  Must return a permutation of its input.
+        #: ``None`` (production) costs one attribute test per *contended*
+        #: dispatch; the uncontended fast path never reaches it.
+        self.grant_order: Callable[[Resource, list[LockRequest]], list[LockRequest]] | None = None
+        #: Observer called as ``on_victim(cycle, victim)`` after every
+        #: deadlock victim choice — the hook behind the explorer's
+        #: reorganizer-is-always-victim invariant.  ``None`` in production.
+        self.on_victim: Callable[[list[Owner], Owner], None] | None = None
 
     # -- queries ------------------------------------------------------------
 
@@ -448,6 +459,8 @@ class LockManager:
             if cycle is None:
                 return victims
             victim = self._choose_victim(cycle)
+            if self.on_victim is not None:
+                self.on_victim(list(cycle), victim)
             victims.append(victim)
             self.stats.deadlocks += 1
             self._deliver_deadlock(victim)
@@ -591,6 +604,13 @@ class LockManager:
         queue = self._queues.get(resource)
         if not queue:
             return
+        if self.grant_order is not None and len(queue) > 1:
+            reordered = self.grant_order(resource, list(queue))
+            if sorted(map(id, reordered)) != sorted(map(id, queue)):
+                raise LockProtocolViolation(
+                    "grant_order must return a permutation of the wait queue"
+                )
+            queue[:] = reordered
         progressed = True
         while progressed:
             progressed = False

@@ -114,8 +114,19 @@ class Scheduler:
         #: scheduler runs without a store, e.g. pure lock-protocol tests).
         self._buffer_contains = store.buffer.contains if store is not None else None
         self.now: float = 0.0
+        #: Pending events.  ``seq`` (second element) is unique per event, so
+        #: tuple comparison is decided by ``(time, seq)`` alone and the
+        #: action callables are *never* compared — event order is a pure
+        #: function of the spawn plan on every Python version.
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
+        #: Explorer hook (see ``repro.analysis.explorer``): when set,
+        #: :meth:`run` routes through :meth:`_run_explored`, which asks this
+        #: callable to pick the next event from the sorted pending list.
+        #: ``None`` (production) keeps the branch-free heap loop below; the
+        #: attribute is tested once per ``run()`` call, so the hot path is
+        #: byte-identical with the explorer merely imported.
+        self.pick_next: Callable[[list[tuple[float, int, Callable[[], None]]]], int] | None = None
         self._processes: list[_Process] = []
         #: (txn, result) for processes that ran to completion.
         self.completed: list[tuple[Transaction, Any]] = []
@@ -144,7 +155,17 @@ class Scheduler:
         return transaction
 
     def run(self, *, until: float | None = None, max_events: int = 2_000_000) -> None:
-        """Drain the event heap (optionally up to simulated time ``until``)."""
+        """Drain the event heap (optionally up to simulated time ``until``).
+
+        Events execute in ``(time, seq)`` order, where ``seq`` is assigned
+        from a per-scheduler counter at scheduling time.  Equal-time events
+        are therefore ordered by sequence number only — never by dict
+        iteration order or callable identity — which is what lets explorer
+        traces (``repro.analysis.explorer``) replay identically across runs
+        and Python versions.
+        """
+        if self.pick_next is not None:
+            return self._run_explored(until=until, max_events=max_events)
         events = 0
         counters = _COUNTERS
         heap = self._heap
@@ -171,6 +192,51 @@ class Scheduler:
             names = ", ".join(p.txn.name for p in stuck)
             raise SchedulerStall(f"no events left but processes wait: {names}")
 
+    def _run_explored(self, *, until: float | None, max_events: int) -> None:
+        """Policy-driven twin of :meth:`run` for schedule exploration.
+
+        Kept separate so the production loop stays branch-free.  Each
+        iteration fully sorts the pending list (total order on
+        ``(time, seq)``; actions are never compared) and lets ``pick_next``
+        choose *any* pending event, not just the earliest.  The clock is
+        clamped monotonically: running a later-timestamped event first must
+        not move time backwards when the earlier one finally executes.
+        """
+        events = 0
+        counters = _COUNTERS
+        heap = self._heap
+        pick_next = self.pick_next
+        assert pick_next is not None
+        while heap:
+            if self._crash is not None:
+                raise self._crash
+            heap.sort()
+            options = heap
+            if until is not None:
+                options = [event for event in heap if event[0] <= until]
+                if not options:
+                    return
+            index = pick_next(options)
+            if not 0 <= index < len(options):
+                raise ReproError(
+                    f"pick_next returned {index} for {len(options)} pending events"
+                )
+            event = options[index]
+            heap.remove(event)
+            if event[0] > self.now:
+                self.now = event[0]
+            event[2]()
+            events += 1
+            counters.des_events += 1
+            if events > max_events:
+                raise SchedulerStall(f"exceeded {max_events} events")
+        if self._crash is not None:
+            raise self._crash
+        stuck = [p for p in self._processes if not p.done and p.waiting_since is not None]
+        if stuck:
+            names = ", ".join(p.txn.name for p in stuck)
+            raise SchedulerStall(f"no events left but processes wait: {names}")
+
     @property
     def active_count(self) -> int:
         return sum(1 for p in self._processes if not p.done)
@@ -189,9 +255,7 @@ class Scheduler:
                 # timer event later finds the process done and no-ops.
                 self._schedule(
                     self.now,
-                    lambda p=process: self._step(
-                        p, throw=TransactionAborted(reason)
-                    ),
+                    partial(self._throw_into, process, TransactionAborted(reason)),
                 )
                 return True
         return False
@@ -346,6 +410,15 @@ class Scheduler:
         """Timer/grant continuation: re-enter ``_step`` with a sent value."""
         self._step(process, send_value=value)
 
+    def _throw_into(self, process: _Process, error: BaseException) -> None:
+        """Continuation that re-enters ``_step`` throwing ``error``.
+
+        A method (scheduled via ``partial``) rather than a lambda so every
+        heap event stays introspectable: the explorer attributes pending
+        events to their process through ``partial`` arguments.
+        """
+        self._step(process, throw=error)
+
     def _suspend_on_lock(self, process: _Process) -> None:
         process.txn.metrics.blocks += 1
         process.waiting_since = self.now
@@ -371,7 +444,7 @@ class Scheduler:
             error = DeadlockError(
                 f"{process.txn.name} chosen as deadlock victim", victim=process.txn
             )
-            self._schedule(self.now, lambda: self._step(process, throw=error))
+            self._schedule(self.now, partial(self._throw_into, process, error))
 
         return on_deadlock
 

@@ -1,0 +1,205 @@
+"""The schedule-exploration model checker: determinism, pruning, replay,
+and — the point of the whole exercise — seeded protocol bugs being caught
+with a replayable trace."""
+
+import pytest
+
+# conftest side effect: tools/ on sys.path for the reprocheck registry.
+from tests.analysis.conftest import REPO_ROOT  # noqa: F401
+
+import repro.locks.manager as lock_manager_module
+from repro.analysis.explorer import (
+    Explorer,
+    TraceError,
+    format_trace,
+    parse_trace,
+)
+from repro.errors import LockProtocolViolation
+from repro.locks.manager import LockManager
+from repro.locks.modes import LockMode
+from repro.txn.transaction import Transaction
+
+from reprocheck.scenarios import SCENARIOS
+
+
+@pytest.fixture
+def no_sanitizer():
+    """Suspend a session-wide runtime sanitizer (REPRO_SANITIZER=1): the
+    seeded-bug tests below make the lock manager *misbehave on purpose*,
+    and the explorer — not the sanitizer — must be the one to notice."""
+    from repro.analysis import sanitizer
+
+    instance = sanitizer.active()
+    if instance is None:
+        yield
+        return
+    with instance.suspended():
+        yield
+
+
+# -- trace format ------------------------------------------------------------------
+
+
+def test_trace_roundtrip():
+    for choices in ([], [0], [3, 0, 1, 17]):
+        assert parse_trace(format_trace(choices)) == choices
+    assert format_trace([]) == "t1:-"
+
+
+def test_parse_trace_rejects_garbage():
+    for bad in ("", "0.1.2", "t1:", "t1:a.b", "t1:-1", "v9:0.1"):
+        with pytest.raises(TraceError):
+            parse_trace(bad)
+
+
+# -- deterministic execution --------------------------------------------------------
+
+
+def test_native_schedule_is_deterministic():
+    explorer = Explorer()
+    scenario = SCENARIOS["reader-vs-pass1"]
+    first = explorer.execute(scenario)
+    second = explorer.execute(scenario)
+    assert first.violation is None
+    assert first.choices == second.choices
+    assert [k for k, _ in first.exec_log] == [k for k, _ in second.exec_log]
+    assert [t.name for t, _ in first.world.scheduler.completed] == [
+        t.name for t, _ in second.world.scheduler.completed
+    ]
+
+
+def test_exploration_is_deterministic():
+    scenario = SCENARIOS["reader-vs-pass1"]
+    results = [
+        Explorer().explore(scenario, max_schedules=40).to_dict()
+        for _ in range(2)
+    ]
+    assert results[0] == results[1]
+
+
+def test_explore_finds_many_distinct_schedules():
+    result = Explorer().explore(SCENARIOS["reader-vs-pass1"], max_schedules=80)
+    assert result.ok
+    assert result.distinct_schedules >= 40
+    assert result.max_depth >= 3
+
+
+def test_reductions_only_prune():
+    """Disabling DPOR + hash pruning never *removes* coverage — the
+    unreduced exploration visits at least as many distinct schedules."""
+    scenario = SCENARIOS["deadlock-victim"]
+    reduced = Explorer().explore(scenario, max_schedules=200)
+    full = Explorer(dpor=False, hash_pruning=False).explore(
+        scenario, max_schedules=200
+    )
+    assert reduced.frontier_exhausted and full.frontier_exhausted
+    assert full.distinct_schedules >= reduced.distinct_schedules
+    assert reduced.ok and full.ok
+
+
+def test_replay_with_unfitting_trace_is_strict():
+    explorer = Explorer()
+    with pytest.raises(TraceError):
+        explorer.replay(SCENARIOS["reader-vs-pass1"], "t1:99")
+
+
+# -- seeded bugs --------------------------------------------------------------------
+
+
+def test_seeded_table1_bug_caught_with_replayable_trace(no_sanitizer, monkeypatch):
+    """Mutate the lock manager to believe every mode pair is compatible:
+    the explorer must catch the Table-1 violation (an S reader beside the
+    reorganizer's RX) and hand back a trace that reproduces it in ONE
+    run — and that is clean once the bug is fixed."""
+    scenario = SCENARIOS["reader-vs-pass1"]
+    explorer = Explorer()
+    monkeypatch.setattr(
+        lock_manager_module, "compatible", lambda granted, requested: True
+    )
+    result = explorer.explore(
+        scenario, max_schedules=200, stop_on_first_violation=True
+    )
+    assert not result.ok
+    violation = result.violations[0]
+    assert violation.invariant == "table1-compat"
+    assert "RX" in violation.message
+
+    replayed = explorer.replay(scenario, violation.trace)
+    assert replayed.violation is not None
+    assert replayed.violation.invariant == "table1-compat"
+    assert replayed.violation.trace == violation.trace
+
+    monkeypatch.undo()
+    clean = Explorer().replay(scenario, violation.trace)
+    assert clean.violation is None
+
+
+def test_seeded_victim_policy_bug_caught(no_sanitizer, monkeypatch):
+    """Mutate victim choice to spare the reorganizer: the on_victim hook
+    invariant must flag the first deadlock, with a replayable trace."""
+    scenario = SCENARIOS["deadlock-victim"]
+
+    def wrong_victim(self, cycle):
+        for owner in cycle:
+            if not getattr(owner, "is_reorganizer", False):
+                return owner
+        return cycle[0]
+
+    monkeypatch.setattr(LockManager, "_choose_victim", wrong_victim)
+    result = Explorer().explore(
+        scenario, max_schedules=50, stop_on_first_violation=True
+    )
+    assert not result.ok
+    violation = result.violations[0]
+    assert violation.invariant == "victim-policy"
+
+    replayed = Explorer().replay(scenario, violation.trace)
+    assert replayed.violation is not None
+    assert replayed.violation.invariant == "victim-policy"
+
+    monkeypatch.undo()
+    assert Explorer().replay(scenario, violation.trace).violation is None
+
+
+# -- lock-manager choice-point hooks ------------------------------------------------
+
+
+def _contended_lock_manager():
+    lm = LockManager()
+    holder = Transaction("holder")
+    first = Transaction("first-waiter")
+    second = Transaction("second-waiter")
+    resource = ("page", 7)
+    assert lm.request(holder, resource, LockMode.X).done
+    assert not lm.request(first, resource, LockMode.X).done
+    assert not lm.request(second, resource, LockMode.X).done
+    return lm, holder, first, second, resource
+
+
+def test_grant_order_hook_reorders_grants():
+    lm, holder, first, second, resource = _contended_lock_manager()
+    lm.grant_order = lambda res, queue: list(reversed(queue))
+    lm.release(holder, resource, LockMode.X)
+    assert lm.holds(second, resource, LockMode.X)
+    assert not lm.holds(first, resource, LockMode.X)
+
+
+def test_grant_order_default_is_fifo():
+    lm, holder, first, second, resource = _contended_lock_manager()
+    lm.release(holder, resource, LockMode.X)
+    assert lm.holds(first, resource, LockMode.X)
+
+
+def test_grant_order_must_be_a_permutation():
+    lm, holder, first, second, resource = _contended_lock_manager()
+    lm.grant_order = lambda res, queue: queue[:1]
+    with pytest.raises(LockProtocolViolation, match="permutation"):
+        lm.release(holder, resource, LockMode.X)
+
+
+def test_hooks_default_off():
+    lm = LockManager()
+    assert lm.grant_order is None and lm.on_victim is None
+    from repro.txn.scheduler import Scheduler
+
+    assert Scheduler(LockManager()).pick_next is None

@@ -1,0 +1,51 @@
+"""Replay one minimized historical trace per invariant.
+
+Each ``traces/*.trace`` file pins a schedule that once exposed (or was
+minimized while hunting) a protocol bug.  Replaying it is deterministic and
+cheap — one world build, one run — so these act as targeted regression
+tests: the named invariant must hold along the exact interleaving.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from tests.analysis.conftest import REPO_ROOT  # noqa: F401 (sys.path side effect)
+
+from repro.analysis import invariants
+from repro.analysis.explorer import Explorer
+
+from reprocheck.scenarios import SCENARIOS
+
+TRACES_DIR = Path(__file__).resolve().parent / "traces"
+
+
+def load_trace(path: Path) -> dict:
+    meta: dict[str, str] = {}
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        key, sep, value = line.partition(":")
+        assert sep, f"{path.name}: malformed line {line!r}"
+        meta.setdefault(key.strip(), value.strip())
+    for required in ("scenario", "invariant", "trace"):
+        assert required in meta, f"{path.name}: missing {required!r}"
+    return meta
+
+
+TRACE_FILES = sorted(TRACES_DIR.glob("*.trace"))
+
+
+@pytest.mark.parametrize("path", TRACE_FILES, ids=lambda p: p.stem)
+def test_historical_trace_replays_clean(path):
+    meta = load_trace(path)
+    scenario = SCENARIOS[meta["scenario"]]
+    explorer = Explorer(invariants=[meta["invariant"]])
+    outcome = explorer.replay(scenario, meta["trace"])
+    assert outcome.violation is None, outcome.violation
+
+
+def test_one_trace_per_invariant():
+    covered = {load_trace(path)["invariant"] for path in TRACE_FILES}
+    assert covered == set(invariants.REGISTRY)

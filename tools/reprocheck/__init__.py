@@ -1,0 +1,21 @@
+"""reprocheck — schedule-exploration model checker for the reorg protocols.
+
+Thin CLI over :mod:`repro.analysis.explorer` plus a registry of small,
+deterministically re-buildable concurrency scenarios.  Run as::
+
+    PYTHONPATH=src:tools python -m reprocheck --all --max-schedules 2000
+
+When ``repro`` is not already importable, the repository's ``src``
+directory (two levels up from this package) is added to ``sys.path``, so
+``PYTHONPATH=tools python -m reprocheck`` from the repo root also works.
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    _src = Path(__file__).resolve().parents[2] / "src"
+    if _src.is_dir():
+        sys.path.insert(0, str(_src))

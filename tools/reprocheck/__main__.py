@@ -1,0 +1,8 @@
+"""``python -m reprocheck`` entry point."""
+
+import sys
+
+from reprocheck.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,318 @@
+"""The scenario registry: small, deterministic concurrency worlds.
+
+Every builder returns a fresh :class:`~repro.analysis.explorer.World` —
+same spawn plan, same tree, same keys on every call — which is what lets
+the explorer re-execute a scenario hundreds of times and replay any trace.
+Keep scenarios *tiny*: exploration cost is (schedules x world size).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.explorer import Scenario, World
+from repro.config import ReorgConfig, TreeConfig
+from repro.db import Database
+from repro.errors import (
+    CrashPoint,
+    DeadlockError,
+    SwitchTimeoutError,
+    TransactionAborted,
+)
+from repro.btree.protocols import (
+    reader_range_scan,
+    reader_search,
+    updater_delete,
+    updater_insert,
+)
+from repro.reorg.protocols import ReorgProtocol, full_reorganization
+from repro.reorg.reorganizer import Reorganizer
+from repro.sim.workload import WorkloadConfig, build_sparse_tree, plan_workload, transaction_generator
+from repro.storage.page import Record
+from repro.txn.scheduler import Scheduler
+from repro.wal.records import TreeSwitchRecord
+
+_EXPECTED = (TransactionAborted, DeadlockError, SwitchTimeoutError)
+
+
+def _tiny_config() -> TreeConfig:
+    return TreeConfig(
+        leaf_capacity=4,
+        internal_capacity=4,
+        leaf_extent_pages=64,
+        internal_extent_pages=32,
+        buffer_pool_pages=16,
+    )
+
+
+def _tiny_db(n_records: int, fill_after: float, seed: int) -> tuple[Database, frozenset[int]]:
+    db = Database(_tiny_config())
+    build_sparse_tree(db, n_records=n_records, fill_after=fill_after, seed=seed)
+    db.flush()
+    db.checkpoint()
+    initial = frozenset(record.key for record in db.tree().items())
+    return db, initial
+
+
+def _scheduler(db: Database) -> Scheduler:
+    return Scheduler(db.locks, store=db.store, log=db.log, io_time=1.0, hit_time=0.05)
+
+
+# -- reader-vs-pass1 ----------------------------------------------------------------
+
+
+def _build_reader_vs_pass1() -> World:
+    db, initial = _tiny_db(n_records=24, fill_after=0.45, seed=5)
+    scheduler = _scheduler(db)
+    protocol = ReorgProtocol(
+        db, "primary", ReorgConfig(do_swap_pass=False),
+        op_duration=0.4, unit_pause=0.1,
+    )
+    scheduler.spawn(protocol.pass1(), name="reorganizer", is_reorganizer=True)
+    keys = sorted(initial)
+    targets = [keys[1], keys[len(keys) // 2], keys[-2]]
+    reads: dict[str, int] = {}
+    for index, key in enumerate(targets):
+        name = f"reader-{index}"
+        scheduler.spawn(
+            reader_search(db, "primary", key, think=0.05),
+            name=name, at=0.3 + 0.4 * index,
+        )
+        reads[name] = key
+    return World(
+        db=db, scheduler=scheduler, initial_keys=initial, reads=reads,
+        expected_failures=_EXPECTED,
+    )
+
+
+# -- updater-vs-pass3-switch --------------------------------------------------------
+
+
+def _pass3_protocol(db: Database, scheduler: Scheduler) -> ReorgProtocol:
+    config = ReorgConfig(
+        do_swap_pass=False,
+        switch_wait_limit=3.0,
+        abort_old_transactions_on_timeout=True,
+        stable_point_interval=3,
+    )
+    protocol = ReorgProtocol(db, "primary", config, op_duration=0.3)
+    protocol.abort_hook = lambda victims: [
+        scheduler.abort_transaction(victim, "old-tree drain timeout")
+        for victim in victims
+    ]
+    return protocol
+
+
+def _build_updater_vs_pass3_switch() -> World:
+    db, initial = _tiny_db(n_records=40, fill_after=0.5, seed=7)
+    scheduler = _scheduler(db)
+    protocol = _pass3_protocol(db, scheduler)
+    scheduler.spawn(protocol.pass3(), name="reorganizer", is_reorganizer=True)
+    keys = sorted(initial)
+    absent = next(k for k in range(40) if k not in initial)
+    present = keys[len(keys) // 3]
+    read_key = keys[-3]
+    scheduler.spawn(
+        updater_insert(db, "primary", Record(absent, "w"), think=0.05),
+        name="insert-0", at=0.4,
+    )
+    scheduler.spawn(
+        updater_delete(db, "primary", present, think=0.05),
+        name="delete-0", at=0.9,
+    )
+    scheduler.spawn(
+        reader_search(db, "primary", read_key, think=0.05),
+        name="reader-0", at=1.3,
+    )
+    return World(
+        db=db, scheduler=scheduler, initial_keys=initial,
+        reads={"reader-0": read_key},
+        writes={"insert-0": ("insert", absent), "delete-0": ("delete", present)},
+        expected_failures=_EXPECTED,
+    )
+
+
+# -- crash-during-switch ------------------------------------------------------------
+
+
+def _build_crash_during_switch() -> World:
+    db, initial = _tiny_db(n_records=40, fill_after=0.5, seed=9)
+    scheduler = _scheduler(db)
+    config = ReorgConfig(do_swap_pass=False, stable_point_interval=3)
+    protocol = ReorgProtocol(db, "primary", config, op_duration=0.3)
+    scheduler.spawn(protocol.pass3(), name="reorganizer", is_reorganizer=True)
+    keys = sorted(initial)
+    reads: dict[str, int] = {}
+    for index, key in enumerate((keys[2], keys[-4])):
+        name = f"reader-{index}"
+        scheduler.spawn(
+            reader_search(db, "primary", key, think=0.05),
+            name=name, at=0.3 + 0.5 * index,
+        )
+        reads[name] = key
+
+    # Crash the instant the switch record is stable: the record is appended
+    # and flushed, the root flip has NOT happened yet — recovery must finish
+    # the switch forward (section 7.4 / 5.1).
+    log = db.log
+    original_append = log.append
+
+    def crashing_append(record):
+        lsn = original_append(record)
+        if isinstance(record, TreeSwitchRecord):
+            log.flush()
+            raise CrashPoint("crash immediately after the switch record is stable")
+        return lsn
+
+    log.append = crashing_append
+
+    def drive(world: World) -> None:
+        try:
+            world.scheduler.run()
+        except CrashPoint:
+            world.db.crash()
+            report = world.db.recover()
+            reorganizer = Reorganizer(world.db, world.db.tree("primary"), config)
+            reorganizer.forward_recover(report)
+
+    return World(
+        db=db, scheduler=scheduler, initial_keys=initial, reads=reads,
+        expected_failures=_EXPECTED, drive=drive,
+    )
+
+
+# -- canned workloads ---------------------------------------------------------------
+
+
+def _build_mixed_tiny() -> World:
+    db, initial = _tiny_db(n_records=40, fill_after=0.5, seed=11)
+    scheduler = _scheduler(db)
+    protocol = ReorgProtocol(
+        db, "primary", ReorgConfig(do_swap_pass=False),
+        op_duration=0.3, unit_pause=0.05,
+    )
+    scheduler.spawn(
+        full_reorganization(protocol), name="reorganizer", is_reorganizer=True
+    )
+    workload = WorkloadConfig(
+        n_transactions=6,
+        read_fraction=0.5, scan_fraction=0.0,
+        insert_fraction=0.25, delete_fraction=0.25,
+        key_space=40, mean_interarrival=0.25, think=0.05, seed=13,
+    )
+    reads: dict[str, int] = {}
+    writes: dict[str, tuple[str, int]] = {}
+    for index, plan in enumerate(plan_workload(workload)):
+        name = f"{plan.kind}-{index}"
+        scheduler.spawn(
+            transaction_generator(db, "primary", plan, workload.think),
+            name=name, at=plan.arrival,
+        )
+        if plan.kind == "read":
+            reads[name] = plan.key
+        elif plan.kind in ("insert", "delete"):
+            writes[name] = (plan.kind, plan.key)
+    return World(
+        db=db, scheduler=scheduler, initial_keys=initial,
+        reads=reads, writes=writes, expected_failures=_EXPECTED,
+    )
+
+
+def _build_scan_vs_pass1() -> World:
+    db, initial = _tiny_db(n_records=24, fill_after=0.5, seed=15)
+    scheduler = _scheduler(db)
+    protocol = ReorgProtocol(
+        db, "primary", ReorgConfig(do_swap_pass=False),
+        op_duration=0.3, unit_pause=0.05,
+    )
+    scheduler.spawn(protocol.pass1(), name="reorganizer", is_reorganizer=True)
+    keys = sorted(initial)
+    scheduler.spawn(
+        reader_range_scan(db, "primary", keys[0], keys[len(keys) // 2], think_per_page=0.02),
+        name="scan-0", at=0.3,
+    )
+    scheduler.spawn(
+        reader_range_scan(db, "primary", keys[len(keys) // 3], keys[-1], think_per_page=0.02),
+        name="scan-1", at=0.7,
+    )
+    absent = next(k for k in range(24) if k not in initial)
+    scheduler.spawn(
+        updater_insert(db, "primary", Record(absent, "w"), think=0.05),
+        name="insert-0", at=1.0,
+    )
+    return World(
+        db=db, scheduler=scheduler, initial_keys=initial,
+        writes={"insert-0": ("insert", absent)},
+        expected_failures=_EXPECTED,
+    )
+
+
+def _build_deadlock_victim() -> World:
+    """Minimal ABBA deadlock with the reorganizer on one side: every
+    schedule that closes the cycle must pick the reorganizer as victim
+    (exercises the ``on_victim`` hook on real deadlocks)."""
+    from repro.locks.modes import LockMode
+    from repro.txn.ops import Acquire, ReleaseAll, Think
+
+    db = Database(_tiny_config())
+    db.create_tree()
+    db.flush()
+    scheduler = _scheduler(db)
+    page_a = ("page", 900)
+    page_b = ("page", 901)
+
+    def locker(first, second):
+        yield Acquire(first, LockMode.X)
+        yield Think(0.5)
+        yield Acquire(second, LockMode.X)
+        yield Think(0.1)
+        yield ReleaseAll()
+
+    scheduler.spawn(
+        locker(page_a, page_b), name="reorganizer", is_reorganizer=True
+    )
+    scheduler.spawn(locker(page_b, page_a), name="user", at=0.1)
+    return World(
+        db=db, scheduler=scheduler, expected_failures=(DeadlockError,),
+    )
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="reader-vs-pass1",
+            description="three point readers race pass-1 leaf compaction "
+            "(RX back-off, instant RS, Table-1 on base and leaf pages)",
+            build=_build_reader_vs_pass1,
+        ),
+        Scenario(
+            name="updater-vs-pass3-switch",
+            description="structural updaters and a reader race pass 3 and "
+            "the switch (side-file capture + replay, drain/abort policy)",
+            build=_build_updater_vs_pass3_switch,
+        ),
+        Scenario(
+            name="crash-during-switch",
+            description="crash right after the switch record is stable; "
+            "recovery must finish the switch forward",
+            build=_build_crash_during_switch,
+        ),
+        Scenario(
+            name="mixed-tiny",
+            description="canned workload: 6 planned read/insert/delete "
+            "transactions against a full three-pass reorganization",
+            build=_build_mixed_tiny,
+        ),
+        Scenario(
+            name="scan-vs-pass1",
+            description="canned workload: two overlapping range scans and "
+            "an insert against pass-1 compaction",
+            build=_build_scan_vs_pass1,
+        ),
+        Scenario(
+            name="deadlock-victim",
+            description="ABBA deadlock between the reorganizer and a user "
+            "transaction; the reorganizer must always be the victim",
+            build=_build_deadlock_victim,
+        ),
+    )
+}

@@ -472,3 +472,79 @@ class SuppressionReasonRule(Rule):
                 f"suppression without a reason: {text!r} — append "
                 f"'-- <why this is safe>'",
             )
+
+
+def _walk_in_function(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function's own body: lambdas are entered (they execute inline
+    in the generator's step), nested ``def``/``class`` are not (they are
+    their own lint unit)."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(child))
+
+
+@register
+class ChoicePointRegisteredRule(Rule):
+    """Reorg protocol generators must block *through the scheduler*.
+
+    A synchronous ``locks.request(...)`` / ``locks.convert(...)`` (or a
+    wall-clock ``sleep``) inside a generator in ``src/repro/reorg/``
+    bypasses the scheduler's choice-point API: the discrete-event clock
+    never advances, the explorer (``repro.analysis.explorer``) never sees
+    the blocking point, and model-checked traces silently lose coverage.
+    Yield ``Acquire``/``Convert``/``Think`` ops instead.
+    """
+
+    name = "choice-point-registered"
+    description = (
+        "blocking operations in reorg generators go through scheduler ops "
+        "(yield Acquire/Convert/Think), never synchronous lock-manager calls"
+    )
+    include = ("src/repro/reorg/",)
+
+    _BLOCKING = {"request", "convert"}
+    _LM_NAMES = {"locks", "lm", "lock_manager", "_lm"}
+
+    def _is_lock_manager(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._LM_NAMES
+        if isinstance(node, ast.Name):
+            return node.id in self._LM_NAMES
+        return False
+
+    def check(self, ctx: LintContext) -> Iterable[tuple[int, int, str]]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            body = list(_walk_in_function(func))
+            if not any(isinstance(n, (ast.Yield, ast.YieldFrom)) for n in body):
+                continue  # not a protocol generator
+            for node in body:
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = _call_name(node.func)
+                if (
+                    callee in self._BLOCKING
+                    and isinstance(node.func, ast.Attribute)
+                    and self._is_lock_manager(node.func.value)
+                ):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"synchronous lock-manager .{callee}() inside "
+                        f"generator {func.name!r}; yield an "
+                        f"{'Acquire' if callee == 'request' else 'Convert'} "
+                        f"op so the scheduler registers the choice point",
+                    )
+                elif callee == "sleep":
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"wall-clock sleep() inside generator {func.name!r}; "
+                        f"yield Think(duration) so simulated time advances "
+                        f"through the scheduler",
+                    )
