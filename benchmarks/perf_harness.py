@@ -14,11 +14,25 @@ data point behind:
   check-identical.  See EXPERIMENTS.md "Performance".
 * ``reorg_20k``     — full three-pass reorganization (compact, swap,
   shrink + switch) of a 20k-record sparse tree with one-way side pointers.
+* ``reorg_20k_batched``    — the same reorganization with the batched-I/O
+  layer on (group-commit WAL, elevator write-back, readahead, seek-aware
+  pass 2, leaf-chain cache).  Must produce the same tree.
+* ``range_scan_e6`` / ``range_scan_e6_batched`` — the E6 scenario: a full
+  range scan of a randomly-grown (disk-disordered) tree through a small
+  buffer pool, without and with readahead.  The check values carry the
+  simulated I/O cost, so the BENCH file quantifies the batching win in
+  *cost-model* units, not just wall clock.
 
 Each workload also returns deterministic *check* values (record counts,
 unit/swap counts, log bytes).  Those must be bit-identical run to run and
 PR to PR under the same seeds — a changed check means an optimization
-changed behaviour, which the perf tests fail loudly on.
+changed behaviour, which the perf tests fail loudly on.  Workloads may
+additionally report an ``io`` section (simulated disk / WAL deltas); those
+are deterministic too but informational — not compared against baselines.
+
+``--profile small`` shrinks every workload (fewer records / transactions)
+for CI smoke runs; the checks of a small profile are its own and must not
+be compared against a full-size BENCH file.
 
 Usage::
 
@@ -56,6 +70,17 @@ except ImportError:  # pragma: no cover - seed-baseline capture only
 
 
 # -- workloads ---------------------------------------------------------------
+
+#: The batched-I/O configuration exercised by the ``*_batched`` workloads.
+#: Every flag defaults off in TreeConfig; this is the "all on" profile.
+BATCHED_FLAGS = dict(
+    group_commit_window=64,
+    elevator_writeback=True,
+    writeback_batch=8,
+    readahead_pages=16,
+    seek_aware_pass2=True,
+    reorg_chain_cache=True,
+)
 
 
 def run_bulk_insert(n_records: int = 20_000) -> dict:
@@ -112,10 +137,12 @@ def _e2_setup(n_transactions: int = 250, seed: int = 11) -> ExperimentSetup:
     )
 
 
-def run_mixed_e2() -> dict:
+def run_mixed_e2(n_transactions: int = 250) -> dict:
     """Mixed read/update workload concurrent with the paper reorganizer."""
     t0 = time.perf_counter()
-    db, metrics = run_concurrent_experiment(_e2_setup(), reorganizer="paper")
+    db, metrics = run_concurrent_experiment(
+        _e2_setup(n_transactions), reorganizer="paper"
+    )
     wall = time.perf_counter() - t0
     db.tree().validate()
     return {
@@ -132,7 +159,7 @@ def run_mixed_e2() -> dict:
     }
 
 
-def run_reorg_20k(n_records: int = 20_000) -> dict:
+def run_reorg_20k(n_records: int = 20_000, *, batched: bool = False) -> dict:
     """Full three-pass reorganization of a sparse 20k-record tree."""
     db = Database(
         TreeConfig(
@@ -142,6 +169,7 @@ def run_reorg_20k(n_records: int = 20_000) -> dict:
             internal_extent_pages=1024,
             buffer_pool_pages=512,
             side_pointers=SidePointerKind.ONE_WAY,
+            **(BATCHED_FLAGS if batched else {}),
         )
     )
     tree = db.bulk_load_tree(
@@ -155,9 +183,13 @@ def run_reorg_20k(n_records: int = 20_000) -> dict:
     db.flush()
     db.checkpoint()
     reorg = Reorganizer(db, tree, ReorgConfig(target_fill=0.9))
+    disk_before = db.store.disk.stats.snapshot()
+    log_before = db.log.stats.snapshot()
     t0 = time.perf_counter()
     report = reorg.run()
     wall = time.perf_counter() - t0
+    disk_io = db.store.disk.stats.delta(disk_before)
+    log_io = db.log.stats.delta(log_before)
     final = db.tree()
     final.validate()
     return {
@@ -170,20 +202,107 @@ def run_reorg_20k(n_records: int = 20_000) -> dict:
             "leaves_after": report.pass1.leaves_after,
             "reorg_log_bytes": db.log.stats.reorg_bytes,
         },
+        "io": {
+            "reads": disk_io["reads"],
+            "writes": disk_io["writes"],
+            "read_cost": round(disk_io["read_cost"], 1),
+            "write_cost": round(disk_io["write_cost"], 1),
+            "batch_reads": disk_io["batch_reads"],
+            "log_flushes": log_io["flushes"],
+            "absorbed_flushes": log_io["absorbed_flushes"],
+            "prefetch_hits": db.store.buffer.prefetch_hits,
+            "prefetch_wasted": db.store.buffer.prefetch_wasted,
+            "writeback_sweeps": db.store.buffer.writeback_sweeps,
+        },
     }
+
+
+def run_range_scan_e6(n_records: int = 20_000, *, batched: bool = False) -> dict:
+    """E6: full range scan of a randomly-grown tree, small buffer pool.
+
+    Random-order inserts split leaves all over the extent, so the key-order
+    leaf chain is disk-disordered — the paper's motivating scan scenario.
+    The pool holds a fraction of the leaf level, making the scan mostly
+    cold; the ``io`` / check numbers quantify the seek bill, which the
+    readahead path (``batched=True``) pays down with multi-page reads.
+    """
+    db = Database(
+        TreeConfig(
+            leaf_capacity=16,
+            internal_capacity=8,
+            leaf_extent_pages=4096,
+            internal_extent_pages=1024,
+            buffer_pool_pages=64,
+            side_pointers=SidePointerKind.ONE_WAY,
+            **(BATCHED_FLAGS if batched else {}),
+        )
+    )
+    tree = db.create_tree()
+    keys = list(range(n_records))
+    random.Random(1234).shuffle(keys)
+    for key in keys:
+        tree.insert(Record(key, "x" * 16))
+    db.flush()
+    disk_before = db.store.disk.stats.snapshot()
+    t0 = time.perf_counter()
+    records = tree.range_scan(0, n_records)
+    wall = time.perf_counter() - t0
+    disk_io = db.store.disk.stats.delta(disk_before)
+    return {
+        "wall_s": wall,
+        "checks": {
+            "records_returned": len(records),
+            "reads": disk_io["reads"],
+            "sequential_reads": disk_io["sequential_reads"],
+            "seeks": disk_io["seeks"],
+            "read_cost": round(disk_io["read_cost"], 1),
+            "batch_reads": disk_io["batch_reads"],
+        },
+        "io": {
+            "batch_read_pages": disk_io["batch_read_pages"],
+            "prefetch_hits": db.store.buffer.prefetch_hits,
+            "prefetch_wasted": db.store.buffer.prefetch_wasted,
+        },
+    }
+
+
+def run_reorg_20k_batched(n_records: int = 20_000) -> dict:
+    return run_reorg_20k(n_records, batched=True)
+
+
+def run_range_scan_e6_batched(n_records: int = 20_000) -> dict:
+    return run_range_scan_e6(n_records, batched=True)
 
 
 WORKLOADS = {
     "bulk_insert": run_bulk_insert,
     "mixed_e2": run_mixed_e2,
     "reorg_20k": run_reorg_20k,
+    "reorg_20k_batched": run_reorg_20k_batched,
+    "range_scan_e6": run_range_scan_e6,
+    "range_scan_e6_batched": run_range_scan_e6_batched,
+}
+
+#: Per-workload overrides for ``--profile``; "full" is the empty default.
+PROFILE_PARAMS: dict[str, dict[str, dict]] = {
+    "full": {},
+    "small": {
+        "bulk_insert": {"n_records": 2_000},
+        "mixed_e2": {"n_transactions": 60},
+        "reorg_20k": {"n_records": 2_000},
+        "reorg_20k_batched": {"n_records": 2_000},
+        "range_scan_e6": {"n_records": 2_000},
+        "range_scan_e6_batched": {"n_records": 2_000},
+    },
 }
 
 
 # -- suite runner ------------------------------------------------------------
 
 
-def run_suite(names: list[str] | None = None, *, repeats: int = 3) -> dict:
+def run_suite(
+    names: list[str] | None = None, *, repeats: int = 3, profile: str = "full"
+) -> dict:
     """Run each workload ``repeats`` times; report the fastest wall clock.
 
     Checks must agree across repeats (they are seeded-deterministic); a
@@ -191,6 +310,7 @@ def run_suite(names: list[str] | None = None, *, repeats: int = 3) -> dict:
     BENCH file.
     """
     results: dict[str, dict] = {}
+    overrides = PROFILE_PARAMS[profile]
     for name in names or list(WORKLOADS):
         fn = WORKLOADS[name]
         best: dict | None = None
@@ -198,7 +318,7 @@ def run_suite(names: list[str] | None = None, *, repeats: int = 3) -> dict:
         for _ in range(max(1, repeats)):
             if PERF is not None:
                 PERF.reset()
-            out = fn()
+            out = fn(**overrides.get(name, {}))
             if PERF is not None:
                 out["counters"] = PERF.counters.snapshot()
             walls.append(out["wall_s"])
@@ -236,6 +356,8 @@ def build_report(
         }
         if "counters" in result:
             entry["counters"] = result["counters"]
+        if "io" in result:
+            entry["io"] = result["io"]
         if baseline and name in baseline:
             base_wall = baseline[name]["wall_s"]
             entry["baseline_wall_s"] = round(base_wall, 4)
@@ -257,6 +379,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILE_PARAMS),
+        default="full",
+        help="workload size profile (small = CI smoke scale)",
+    )
+    parser.add_argument(
         "--write", action="store_true", help="write BENCH_<n>.json at repo root"
     )
     parser.add_argument(
@@ -271,7 +399,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--label", default="current")
     args = parser.parse_args(argv)
 
-    results = run_suite(args.workloads, repeats=args.repeats)
+    results = run_suite(args.workloads, repeats=args.repeats, profile=args.profile)
     baseline = None
     if args.baseline is not None:
         loaded = json.loads(args.baseline.read_text())

@@ -1,0 +1,69 @@
+"""BENCH check: the batched-I/O layer off costs nothing (ISSUE 4).
+
+Every batching flag — ``group_commit_window``, ``elevator_writeback``,
+``readahead_pages``, ``seek_aware_pass2``, ``reorg_chain_cache`` — defaults
+off in :class:`repro.config.TreeConfig`, and the flags-off code paths are
+the pre-batching ones.  Two assertions:
+
+* **Identity** (machine-independent): the three BENCH_1.json workloads
+  (``bulk_insert``, ``mixed_e2``, ``reorg_20k``) reproduce their recorded
+  perf counters and check values exactly.  Any always-on batching — a
+  prefetch issued without the flag, a reordered write-back, a widened
+  flush — shifts ``wal_flush_skips`` / buffer counters or the check values
+  and fails here.
+* **Wall clock** (generous noise bound): each workload stays within 2x of
+  the slowest BENCH_1.json repeat — a tripwire for accidental flags-on
+  work, not a precision benchmark.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import banner
+from perf_harness import run_suite
+
+pytestmark = pytest.mark.bench
+
+BENCH_1 = json.loads(
+    (Path(__file__).resolve().parent.parent / "BENCH_1.json").read_text()
+)
+
+WORKLOADS = ["bulk_insert", "mixed_e2", "reorg_20k"]
+
+
+@pytest.fixture(scope="module")
+def flags_off_results():
+    """The BENCH_1 workloads run on current code with default (off) flags."""
+    return run_suite(WORKLOADS, repeats=3)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_counters_identical_to_bench1(flags_off_results, workload):
+    """The deterministic signature of the hot paths is unchanged."""
+    expected = BENCH_1["workloads"][workload]["counters"]
+    assert flags_off_results[workload]["counters"] == expected
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_checks_identical_to_bench1(flags_off_results, workload):
+    expected = BENCH_1["workloads"][workload]["checks"]
+    assert flags_off_results[workload]["checks"] == expected
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_wall_clock_within_noise_of_bench1(flags_off_results, workload):
+    recorded = BENCH_1["workloads"][workload]
+    now = flags_off_results[workload]
+    bound = 2.0 * max(recorded["wall_all_s"] or [recorded["wall_s"]])
+    banner(f"Batched-I/O-off overhead — {workload}")
+    print(
+        f"  BENCH_1 best {recorded['wall_s']:.4f}s   "
+        f"now {now['wall_s']:.4f}s   bound {bound:.4f}s"
+    )
+    assert now["wall_s"] <= bound, (
+        f"flags-off {workload} took {now['wall_s']:.4f}s, over the "
+        f"{bound:.4f}s noise bound vs BENCH_1.json — is a batching flag "
+        f"accidentally on by default?"
+    )

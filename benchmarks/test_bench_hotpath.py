@@ -40,6 +40,33 @@ SEED_CHECKS = {
         "leaves_after": 612,
         "reorg_log_bytes": 568865,
     },
+    # Batched-I/O workloads (added with BENCH_2.json): batching must change
+    # the schedule, never the result — the batched reorg reproduces the
+    # flags-off tree exactly, and both scans return every record.
+    "reorg_20k_batched": {
+        "record_count": 6000,
+        "pass1_units": 434,
+        "pass2_swaps": 0,
+        "pass2_moves": 609,
+        "leaves_after": 612,
+        "reorg_log_bytes": 568865,
+    },
+    "range_scan_e6": {
+        "records_returned": 20000,
+        "reads": 1779,
+        "sequential_reads": 0,
+        "seeks": 1779,
+        "read_cost": 17790.0,
+        "batch_reads": 0,
+    },
+    "range_scan_e6_batched": {
+        "records_returned": 20000,
+        "reads": 2141,
+        "sequential_reads": 1468,
+        "seeks": 673,
+        "read_cost": 8198.0,
+        "batch_reads": 308,
+    },
 }
 
 

@@ -82,10 +82,7 @@ def measure_range_scan(tree: BPlusTree, low: int, high: int) -> ScanCost:
     # Resolve the leaf order first: the tree walk may fault pages into the
     # buffer pool, and those reads must not be charged to the scan.
     leaf_ids = tree.leaf_ids_in_key_order()
-    before_reads = disk.stats.reads
-    before_seq = disk.stats.sequential_reads
-    before_seeks = disk.stats.seeks
-    before_cost = disk.stats.read_cost
+    before = disk.stats.snapshot()
     disk.reset_read_position()
 
     # Walk the leaves in key order through the disk, charging I/O per leaf.
@@ -103,17 +100,18 @@ def measure_range_scan(tree: BPlusTree, low: int, high: int) -> ScanCost:
         if preview.min_key() > high or preview.max_key() < low:
             continue
         page = (
-            disk.read(leaf_id)  # reprolint: disable=buffer-bypass -- read-only I/O cost model; counts raw disk reads on purpose
+            disk.read(leaf_id)  # reprolint: disable=buffer-bypass,no-raw-disk-write -- read-only I/O cost model; counts raw disk reads on purpose
             if disk.has_image(leaf_id)
             else preview
         )
         for record in page.records:  # type: ignore[union-attr]
             if low <= record.key <= high:
                 records += 1
+    spent = disk.stats.delta(before)
     return ScanCost(
-        pages_read=disk.stats.reads - before_reads,
-        sequential_reads=disk.stats.sequential_reads - before_seq,
-        seeks=disk.stats.seeks - before_seeks,
-        read_cost=disk.stats.read_cost - before_cost,
+        pages_read=spent["reads"],
+        sequential_reads=spent["sequential_reads"],
+        seeks=spent["seeks"],
+        read_cost=spent["read_cost"],
         records_returned=records,
     )

@@ -63,6 +63,35 @@ class TreeConfig:
             (:mod:`repro.analysis.sanitizer`) when the database is built.
             The patches are process-wide and strict (violations raise);
             leave False outside tests — the off path costs nothing.
+        group_commit_window: group-commit absorb window of the log manager,
+            in LSNs.  A flush request for LSN L makes records up to
+            L + window stable in one boundary advance, so nearby flush
+            requests are absorbed by the group instead of each paying a
+            device flush.  0 disables group commit (every flush advances
+            exactly to its requested LSN — the historical behaviour).
+        elevator_writeback: drain dirty frames in ascending page-id sweep
+            order during ``flush_all``/checkpoint and under eviction
+            pressure, so bulk write-back pays mostly sequential write cost.
+            Careful-writing dest-before-source edges and the WAL rule are
+            still honoured inside the sweep.  False keeps the historical
+            LRU/insertion-order write-back.
+        writeback_batch: how many dirty frames one eviction-pressure sweep
+            drains when ``elevator_writeback`` is on.  Ignored otherwise.
+        readahead_pages: maximum pages per multi-page batch read
+            (``SimulatedDisk.read_batch``).  Range scans and the reorg
+            passes prefetch upcoming pages in batches of at most this many;
+            a batch is charged one seek plus N-1 sequential reads.  0
+            disables readahead entirely (no batch reads, no prefetch).
+        seek_aware_pass2: schedule pass-2 moves/swaps in ascending
+            source-page sweep order (an elevator pass over the pending
+            leaves) instead of key order, minimising simulated head
+            movement.  The resulting tree is identical; only the order of
+            units — and hence the I/O pattern — changes.
+        reorg_chain_cache: maintain the key-order leaf chain incrementally
+            across reorganization units instead of re-sweeping the internal
+            level once per unit — the CPU-side analogue of the batched disk
+            sweeps, and the main wall-clock lever of the batched-I/O
+            configuration.  Only the synchronous pass drivers enable it.
     """
 
     leaf_capacity: int = 32
@@ -74,6 +103,12 @@ class TreeConfig:
     careful_writing: bool = True
     seek_cost: float = 10.0
     sanitizer: bool = False
+    group_commit_window: int = 0
+    elevator_writeback: bool = False
+    writeback_batch: int = 8
+    readahead_pages: int = 0
+    seek_aware_pass2: bool = False
+    reorg_chain_cache: bool = False
 
     def __post_init__(self) -> None:
         if self.leaf_capacity < 2:
@@ -89,6 +124,12 @@ class TreeConfig:
             raise ValueError("buffer pool must hold at least 4 pages")
         if self.seek_cost < 1.0:
             raise ValueError("seek_cost must be >= 1.0 (sequential cost is 1.0)")
+        if self.group_commit_window < 0:
+            raise ValueError("group_commit_window must be >= 0 (0 disables)")
+        if self.writeback_batch < 1:
+            raise ValueError("writeback_batch must be >= 1")
+        if self.readahead_pages < 0:
+            raise ValueError("readahead_pages must be >= 0 (0 disables)")
 
 
 @dataclass(frozen=True)

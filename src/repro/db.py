@@ -57,7 +57,9 @@ class Database:
 
             install()
         self.store = StorageManager(self.config)
-        self.log = LogManager()
+        self.log = LogManager(
+            group_commit_window=self.config.group_commit_window
+        )
         self.store.set_wal(self.log)
         self.locks = LockManager()
         self.progress = ReorgProgressTable()

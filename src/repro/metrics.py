@@ -1,0 +1,40 @@
+"""Snapshot/delta arithmetic shared by the mutable stats dataclasses.
+
+:class:`~repro.storage.disk.IOStats` and :class:`~repro.wal.log.LogStats`
+are plain mutable counter bags that benchmarks sample before and after a
+measured phase.  Hand-copying each field at every sample site proved
+error-prone (a new counter silently drops out of every existing
+measurement), so both inherit :class:`StatsDeltaMixin`:
+
+    before = disk.stats.snapshot()
+    ...measured work...
+    spent = disk.stats.delta(before)     # {"reads": 412, ...}
+
+``snapshot`` returns every dataclass field by name; ``delta`` subtracts a
+prior snapshot field-wise, so adding a counter automatically threads it
+through every measurement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+class StatsDeltaMixin:
+    """snapshot()/delta() over all dataclass fields of the subclass."""
+
+    def snapshot(self) -> dict[str, int | float]:
+        """Current value of every counter field, by name."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)  # type: ignore[arg-type]
+        }
+
+    def delta(self, since: dict[str, int | float]) -> dict[str, int | float]:
+        """Field-wise difference against an earlier :meth:`snapshot`.
+
+        Fields added since the snapshot was taken (e.g. a snapshot loaded
+        from an old JSON file) are treated as starting from zero.
+        """
+        now = self.snapshot()
+        return {name: value - since.get(name, 0) for name, value in now.items()}

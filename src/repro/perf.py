@@ -21,6 +21,14 @@ Two kinds of instrumentation with different guarantees:
 A single module-level registry :data:`PERF` is shared by every Database in
 the process (the simulator is single-threaded); ``PERF.reset()`` between
 measured phases scopes the numbers.
+
+The batched-I/O layer (group commit, elevator write-back, readahead) keeps
+its accounting *off* this registry on purpose: its counters live on the
+objects that own the behaviour (``IOStats.batch_reads``/``write_cost``,
+``LogStats.absorbed_flushes``, ``BufferPool.prefetch_hits`` et al.), so the
+``PERF.counters.snapshot()`` dict recorded in ``BENCH_<n>.json`` keeps the
+exact same keys across benchmark generations and flags-off runs stay
+byte-comparable against older baselines.
 """
 
 from __future__ import annotations

@@ -66,10 +66,20 @@ class LeafCompactor:
 
     def run(self) -> Pass1Stats:
         stats = Pass1Stats()
-        stats.leaves_before = len(self.tree.leaf_ids_in_key_order())
-        for base_id in self._base_page_ids_in_key_order():
-            self._compact_base_page(base_id, stats)
-        stats.leaves_after = len(self.tree.leaf_ids_in_key_order())
+        # The synchronous pass owns the tree for its duration, so the
+        # engine may maintain the key-order leaf chain incrementally
+        # instead of re-sweeping the internal level around every unit.
+        use_cache = self.db.config.reorg_chain_cache
+        if use_cache:
+            self.engine.enable_chain_cache()
+        try:
+            stats.leaves_before = len(self.engine.leaf_chain())
+            for base_id in self._base_page_ids_in_key_order():
+                self._compact_base_page(base_id, stats)
+            stats.leaves_after = len(self.engine.leaf_chain())
+        finally:
+            if use_cache:
+                self.engine.disable_chain_cache()
         return stats
 
     # -- iteration ----------------------------------------------------------------
@@ -128,6 +138,10 @@ class LeafCompactor:
         """
         limit = target * self.config.max_unit_output_pages
         base = self.db.store.get_internal(base_id)
+        # Readahead: the whole pass will read every child of this base
+        # page (sizing here, compacting just after) — fetch the absent
+        # ones as one sweep instead of a seek each.
+        self.db.store.prefetch(base.children())
         groups: list[list[PageId]] = []
         current: list[PageId] = []
         count = 0

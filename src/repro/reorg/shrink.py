@@ -205,24 +205,13 @@ class TreeShrinker:
         return self.tree.base_page_for(key)
 
     def _next_base_after(self, key: int) -> InternalPage | None:
-        """``Get_Next(k)``: the base page after the one covering ``key``."""
-        page = self.db.store.get(self.tree.root_id)
-        candidate: PageId | None = None
-        while page.kind is PageKind.INTERNAL and page.level > 1:  # type: ignore[union-attr]
-            index = page.child_index_for(key)  # type: ignore[union-attr]
-            children = page.children()  # type: ignore[union-attr]
-            if index + 1 < len(children):
-                candidate = children[index + 1]
-            page = self.db.store.get(children[index])
-        if page.kind is PageKind.LEAF:
-            return None  # the root is a leaf; no base level
-        if candidate is None:
-            return None
-        # Leftmost level-1 descendant of the candidate subtree.
-        page = self.db.store.get(candidate)
-        while page.kind is PageKind.INTERNAL and page.level > 1:  # type: ignore[union-attr]
-            page = self.db.store.get(page.children()[0])  # type: ignore[union-attr]
-        return page  # type: ignore[return-value]
+        """``Get_Next(k)``: the base page after the one covering ``key``.
+
+        With readahead configured, the upcoming sibling base pages are
+        batch-read along the way — pass 3's read stream is exactly this
+        key-order sweep of the base level.
+        """
+        return self.tree.next_base_page_after(key, prefetch_siblings=True)
 
     @staticmethod
     def _low_mark_of(base: InternalPage) -> int:

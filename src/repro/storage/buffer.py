@@ -20,6 +20,23 @@ write-ordering disciplines the paper depends on:
 Eviction is LRU over unpinned frames.  Evicting a dirty frame performs a
 (dependency- and WAL-respecting) write first, so callers never observe lost
 updates.
+
+Two batched-I/O features are opt-in (``TreeConfig`` flags, default off):
+
+* **Elevator write-back**: ``flush_all``/``force`` drain dirty frames in
+  ascending page-id order, and eviction pressure writes back a short sweep
+  of dirty frames (the victim plus its followers in page-id order) instead
+  of a single page, so bulk write-back pays mostly sequential write cost.
+  Careful-writing edges still flush destinations first *within* the sweep
+  — a dependency pointing against the sweep direction simply costs the
+  extra head movement it implies.
+
+* **Prefetch frames**: :meth:`BufferPool.prefetch` admits upcoming pages
+  via :meth:`~repro.storage.disk.SimulatedDisk.read_batch` before they are
+  demanded.  This is safe because a non-resident page's latest contents
+  are always its stable image (eviction writes dirty frames back), and
+  resident pages are skipped.  Hit/waste counters record whether the
+  gamble paid off.
 """
 
 from __future__ import annotations
@@ -62,12 +79,14 @@ class _NullWAL:
 
 
 class _Frame:
-    __slots__ = ("page", "dirty", "pins")
+    __slots__ = ("page", "dirty", "pins", "prefetched")
 
     def __init__(self, page: Page):
         self.page = page
         self.dirty = False
         self.pins = 0
+        #: Admitted by prefetch and not yet demanded by a fetch.
+        self.prefetched = False
 
 
 class BufferPool:
@@ -80,13 +99,19 @@ class BufferPool:
         *,
         wal: WALHook | None = None,
         careful_writing: bool = True,
+        elevator: bool = False,
+        writeback_batch: int = 8,
     ):
         if capacity < 1:
             raise BufferPoolError("buffer pool capacity must be positive")
+        if writeback_batch < 1:
+            raise BufferPoolError("writeback_batch must be >= 1")
         self._disk = disk
         self._capacity = capacity
         self._wal: WALHook = wal if wal is not None else _NullWAL()
         self._careful_writing = careful_writing
+        self._elevator = elevator
+        self._writeback_batch = writeback_batch
         #: LRU order: oldest first.  Maps page id -> frame.
         self._frames: OrderedDict[PageId, _Frame] = OrderedDict()
         #: Invariant: either None or the key currently last in ``_frames``.
@@ -104,6 +129,14 @@ class BufferPool:
         self.misses = 0
         self.evictions = 0
         self.page_writes = 0
+        #: Prefetch accounting: batches issued, pages admitted, pages later
+        #: demanded by a fetch (hits), pages evicted/dropped undemanded
+        #: (waste), and eviction-pressure elevator sweeps performed.
+        self.prefetch_batches = 0
+        self.prefetched_pages = 0
+        self.prefetch_hits = 0
+        self.prefetch_wasted = 0
+        self.writeback_sweeps = 0
 
     # -- configuration -----------------------------------------------------
 
@@ -115,6 +148,10 @@ class BufferPool:
     def careful_writing(self) -> bool:
         return self._careful_writing
 
+    @property
+    def elevator(self) -> bool:
+        return self._elevator
+
     # -- core access --------------------------------------------------------
 
     def fetch(self, page_id: PageId, *, pin: bool = False) -> Page:
@@ -123,6 +160,9 @@ class BufferPool:
         if frame is not None:
             self.hits += 1
             _COUNTERS.buffer_hits += 1
+            if frame.prefetched:
+                frame.prefetched = False
+                self.prefetch_hits += 1
             if page_id != self._mru_id:
                 self._frames.move_to_end(page_id)
                 self._mru_id = page_id
@@ -147,6 +187,43 @@ class BufferPool:
         if pin:
             frame.pins += 1
         return frame.page
+
+    def prefetch(
+        self, page_ids, *, max_batch: int | None = None
+    ) -> int:
+        """Admit upcoming pages ahead of demand via batch reads.
+
+        Candidates are deduplicated and sorted ascending (batch reads are
+        one sweep direction), then filtered to pages that are not resident
+        and have a stable image — for everything else the pool or the
+        allocator, not the disk, is authoritative.  One batch of at most
+        ``max_batch`` pages is issued (one readahead window; callers refill
+        as the scan consumes it), further capped at what the pool can admit
+        without evicting pinned frames.  Returns the number of pages
+        admitted; best-effort, never raises for lack of room.
+        """
+        wanted = sorted(
+            pid
+            for pid in set(page_ids)
+            if pid not in self._frames and self._disk.has_image(pid)
+        )
+        if not wanted:
+            return 0
+        if max_batch is not None:
+            wanted = wanted[:max_batch]
+        # Never force out pinned frames for a speculative read.
+        room = self._capacity - len(self._frames)
+        room += sum(1 for f in self._frames.values() if f.pins == 0)
+        wanted = wanted[: max(0, room)]
+        if not wanted:
+            return 0
+        pages = self._disk.read_batch(wanted)
+        self.prefetch_batches += 1
+        for page in pages:
+            frame = self._admit(page)
+            frame.prefetched = True
+        self.prefetched_pages += len(pages)
+        return len(pages)
 
     def pin(self, page_id: PageId) -> None:
         frame = self._require_frame(page_id)
@@ -238,22 +315,33 @@ class BufferPool:
         for dest in sorted(self.pending_dependencies(page_id)):
             self._flush_page(dest, in_progress=in_progress)
         in_progress.discard(page_id)
-        if frame.page.page_lsn > self._wal.flushed_lsn:
-            self._wal.flush(frame.page.page_lsn)
-        else:
+        if frame.page.page_lsn <= self._wal.flushed_lsn:
             _COUNTERS.wal_flush_skips += 1
+        # Always hand the WAL rule's request to the log manager: a request
+        # already covered by the stable boundary is a no-op there, but with
+        # group commit on it is exactly an "absorbed" flush and gets counted.
+        self._wal.flush(frame.page.page_lsn)
         self._disk.write(frame.page)
         frame.dirty = False
         self.page_writes += 1
         self._clear_dependencies_on(page_id)
 
     def flush_all(self) -> None:
-        """Write every dirty page (checkpoint / shutdown helper)."""
-        for page_id in list(self._frames):
+        """Write every dirty page (checkpoint / shutdown helper).
+
+        With elevator write-back on, frames drain in ascending page-id
+        order — one sweep of the head — instead of pool insertion order.
+        """
+        page_ids = list(self._frames)
+        if self._elevator:
+            page_ids.sort()
+        for page_id in page_ids:
             self.flush_page(page_id)
 
     def force(self, page_ids: list[PageId]) -> None:
         """Force-write specific pages now (pass 3 stable points, §7.3)."""
+        if self._elevator:
+            page_ids = sorted(page_ids)
         for page_id in page_ids:
             self.flush_page(page_id)
 
@@ -275,6 +363,8 @@ class BufferPool:
         if frame is not None:
             if frame.pins > 0:
                 raise PagePinnedError(f"cannot drop pinned page {page_id}")
+            if frame.prefetched:
+                self.prefetch_wasted += 1
             del self._frames[page_id]
             if page_id == self._mru_id:
                 self._mru_id = None
@@ -307,10 +397,34 @@ class BufferPool:
         for page_id, frame in self._frames.items():
             if frame.pins == 0:
                 if frame.dirty:
-                    self._flush_page(page_id, in_progress=set())
+                    if self._elevator:
+                        self._writeback_sweep(page_id)
+                    else:
+                        self._flush_page(page_id, in_progress=set())
+                if frame.prefetched:
+                    self.prefetch_wasted += 1
                 del self._frames[page_id]
                 if page_id == self._mru_id:
                     self._mru_id = None
                 self.evictions += 1
                 return
         raise BufferPoolError("all buffer frames are pinned; cannot evict")
+
+    def _writeback_sweep(self, victim_id: PageId) -> None:
+        """Eviction-pressure elevator: write back a short run of dirty
+        frames in ascending page-id order, starting at the eviction victim.
+
+        One dirty victim usually means many dirty frames are queued behind
+        it; draining a sweep of them now converts the coming burst of
+        single-page seeks into one mostly-sequential pass, and leaves clean
+        frames for the next few evictions.
+        """
+        dirty = sorted(
+            pid
+            for pid, frame in self._frames.items()
+            if frame.dirty and frame.pins == 0
+        )
+        start = dirty.index(victim_id)
+        for page_id in dirty[start : start + self._writeback_batch]:
+            self._flush_page(page_id, in_progress=set())
+        self.writeback_sweeps += 1

@@ -16,6 +16,15 @@ scattered by splits cost a seek per jump.  :meth:`SimulatedDisk.read` charges
 ``1.0`` for a sequential read (page id = previous id + 1) and
 ``TreeConfig.seek_cost`` otherwise, accumulating into
 :attr:`IOStats.read_cost`.
+
+Reads and writes share a single head-position model: an access is
+sequential exactly when it targets the page after the previous access,
+whatever kind that access was.  Writes charge :attr:`IOStats.write_cost`
+under the same rule, so a write interleaved between two reads breaks their
+sequentiality just like a real head movement would.
+:meth:`SimulatedDisk.read_batch` models one coalesced multi-page request:
+the first page is charged through the head model and every further page
+costs ``1.0`` — "one seek plus N-1 sequential reads".
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import PageNotAllocatedError, StorageError
+from repro.metrics import StatsDeltaMixin
 from repro.storage.page import Page, PageId
 
 
@@ -44,14 +54,25 @@ class Extent:
 
 
 @dataclass
-class IOStats:
-    """Mutable I/O counters, resettable between benchmark phases."""
+class IOStats(StatsDeltaMixin):
+    """Mutable I/O counters, resettable between benchmark phases.
+
+    ``seeks``/``sequential_reads`` classify reads; writes are classified by
+    ``sequential_writes`` (the remainder, ``writes - sequential_writes``,
+    paid full seek cost).  ``batch_reads``/``batch_read_pages`` count
+    coalesced :meth:`SimulatedDisk.read_batch` requests and the pages they
+    delivered (those pages are included in ``reads`` too).
+    """
 
     reads: int = 0
     writes: int = 0
     sequential_reads: int = 0
     seeks: int = 0
     read_cost: float = 0.0
+    sequential_writes: int = 0
+    write_cost: float = 0.0
+    batch_reads: int = 0
+    batch_read_pages: int = 0
 
     def reset(self) -> None:
         self.reads = 0
@@ -59,6 +80,10 @@ class IOStats:
         self.sequential_reads = 0
         self.seeks = 0
         self.read_cost = 0.0
+        self.sequential_writes = 0
+        self.write_cost = 0.0
+        self.batch_reads = 0
+        self.batch_read_pages = 0
 
 
 class SimulatedDisk:
@@ -86,7 +111,8 @@ class SimulatedDisk:
         self._total_pages = cursor
         self._images: dict[PageId, Page] = {}
         self._seek_cost = seek_cost
-        self._last_read: PageId | None = None
+        #: Head position — page id of the last access, read *or* write.
+        self._head: PageId | None = None
         #: Stable key/value metadata — the paper's "special place on the
         #: disk" holding e.g. the root location (section 7.4).  Writes are
         #: immediately durable (they survive crashes).
@@ -144,20 +170,76 @@ class SimulatedDisk:
                 f"page {page_id} has no stable image on disk"
             )
         self.stats.reads += 1
-        if self._last_read is not None and page_id == self._last_read + 1:
+        if self._head is not None and page_id == self._head + 1:
             self.stats.sequential_reads += 1
             self.stats.read_cost += 1.0
         else:
             self.stats.seeks += 1
             self.stats.read_cost += self._seek_cost
-        self._last_read = page_id
+        self._head = page_id
         return image.clone()
 
+    def read_batch(self, page_ids: list[PageId]) -> list[Page]:
+        """Read several stable images as one coalesced request.
+
+        ``page_ids`` must be strictly ascending (one sweep direction — the
+        request models a single scheduled pass over the platter).  The
+        first page is charged through the shared head model; every further
+        page costs ``1.0``, i.e. "one seek plus N-1 sequential reads",
+        regardless of gaps — the gap pages stream past the head without a
+        repositioning delay.
+        """
+        if not page_ids:
+            return []
+        images: list[Page] = []
+        previous: PageId | None = None
+        for page_id in page_ids:
+            if previous is not None and page_id <= previous:
+                raise StorageError(
+                    f"read_batch page ids must be strictly ascending, got "
+                    f"{page_id} after {previous}"
+                )
+            previous = page_id
+            self._check_page_id(page_id)
+            image = self._images.get(page_id)
+            if image is None:
+                raise PageNotAllocatedError(
+                    f"page {page_id} has no stable image on disk"
+                )
+            images.append(image)
+        stats = self.stats
+        first = page_ids[0]
+        if self._head is not None and first == self._head + 1:
+            stats.sequential_reads += 1
+            stats.read_cost += 1.0
+        else:
+            stats.seeks += 1
+            stats.read_cost += self._seek_cost
+        rest = len(page_ids) - 1
+        stats.sequential_reads += rest
+        stats.read_cost += float(rest)
+        stats.reads += len(page_ids)
+        stats.batch_reads += 1
+        stats.batch_read_pages += len(page_ids)
+        self._head = page_ids[-1]
+        return [image.clone() for image in images]
+
     def write(self, page: Page) -> None:
-        """Store a clone of ``page`` as the new stable image."""
+        """Store a clone of ``page`` as the new stable image.
+
+        Writes charge the same sequential-vs-seek model as reads and move
+        the shared head, so interleaved writes break read sequentiality.
+        """
         self._check_page_id(page.page_id)
         self._images[page.page_id] = page.clone()
-        self.stats.writes += 1
+        stats = self.stats
+        stats.writes += 1
+        if self._head is not None and page.page_id == self._head + 1:
+            stats.sequential_writes += 1
+            stats.write_cost += 1.0
+        else:
+            stats.write_cost += self._seek_cost
+        self._head = page.page_id
 
     def erase(self, page_id: PageId) -> None:
         """Drop the stable image (page deallocation reached the disk)."""
@@ -165,8 +247,9 @@ class SimulatedDisk:
         self._images.pop(page_id, None)
 
     def reset_read_position(self) -> None:
-        """Forget the last-read page id (e.g. between benchmark phases)."""
-        self._last_read = None
+        """Forget the head position (e.g. between benchmark phases), so the
+        next access — read or write — is charged as a seek."""
+        self._head = None
 
     # -- introspection for tests and metrics -------------------------------------
 

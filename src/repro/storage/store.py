@@ -40,6 +40,8 @@ class StorageManager:
             self.disk,
             self.config.buffer_pool_pages,
             careful_writing=self.config.careful_writing,
+            elevator=self.config.elevator_writeback,
+            writeback_batch=self.config.writeback_batch,
         )
         # Shadow the `get` method with the pool's bound fetch: `store.get`
         # is the single hottest call in every workload and the wrapper frame
@@ -93,6 +95,17 @@ class StorageManager:
 
     def mark_dirty(self, page_id: PageId, lsn: int | None = None) -> None:
         self.buffer.mark_dirty(page_id, lsn)
+
+    def prefetch(self, page_ids) -> int:
+        """Readahead: batch-admit upcoming pages, gated on the config flag.
+
+        Batches are capped at ``readahead_pages``; with the flag at 0 this
+        is a no-op, so callers can request readahead unconditionally.
+        """
+        limit = self.config.readahead_pages
+        if limit <= 0:
+            return 0
+        return self.buffer.prefetch(page_ids, max_batch=limit)
 
     # -- durability -----------------------------------------------------------
 

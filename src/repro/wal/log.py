@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import LogError
+from repro.metrics import StatsDeltaMixin
 from repro.wal.records import (
     CheckpointRecord,
     LogRecord,
@@ -30,8 +31,14 @@ from repro.wal.records import (
 
 
 @dataclass
-class LogStats:
-    """Byte and record counters, by category."""
+class LogStats(StatsDeltaMixin):
+    """Byte and record counters, by category.
+
+    ``flushes`` counts stable-boundary advances (device flushes);
+    ``absorbed_flushes`` counts flush requests that found their target LSN
+    already stable because an earlier group-commit flush over-advanced the
+    boundary (see :class:`LogManager`'s ``group_commit_window``).
+    """
 
     records_appended: int = 0
     bytes_appended: int = 0
@@ -40,6 +47,7 @@ class LogStats:
     move_bytes: int = 0
     swap_bytes: int = 0
     flushes: int = 0
+    absorbed_flushes: int = 0
 
     def reset(self) -> None:
         self.records_appended = 0
@@ -49,15 +57,29 @@ class LogStats:
         self.move_bytes = 0
         self.swap_bytes = 0
         self.flushes = 0
+        self.absorbed_flushes = 0
 
 
 class LogManager:
-    """Append-only simulated write-ahead log."""
+    """Append-only simulated write-ahead log.
 
-    def __init__(self):
+    ``group_commit_window`` > 0 enables group commit: a flush request for
+    LSN L advances the stable boundary to ``min(last_lsn, L + window)``,
+    deliberately over-flushing so the next few requests find their records
+    already stable and are *absorbed* instead of paying another device
+    flush.  Flushing more than requested is always legal — extra records
+    surviving a crash can only help recovery — so the window is purely a
+    cost/latency trade, never a correctness one.  0 keeps the historical
+    exact-boundary behaviour.
+    """
+
+    def __init__(self, *, group_commit_window: int = 0):
+        if group_commit_window < 0:
+            raise LogError("group_commit_window must be >= 0")
         self._records: list[LogRecord] = []
         self._flushed_upto: int = 0  # LSN of last stable record
         self._last_checkpoint_lsn: int = 0
+        self._group_window = group_commit_window
         self.stats = LogStats()
 
     # -- append/flush -------------------------------------------------------
@@ -99,11 +121,23 @@ class LogManager:
         return lsn
 
     def flush(self, up_to_lsn: int | None = None) -> None:
-        """Make records with LSN <= ``up_to_lsn`` stable (default: all)."""
+        """Make records with LSN <= ``up_to_lsn`` stable (default: all).
+
+        With group commit on, the boundary advances ``group_commit_window``
+        LSNs past the request (capped at the log end); a request already
+        covered by an earlier over-advance is counted as absorbed.
+        """
         target = self.last_lsn if up_to_lsn is None else min(up_to_lsn, self.last_lsn)
-        if target > self._flushed_upto:
-            self._flushed_upto = target
-            self.stats.flushes += 1
+        if target <= self._flushed_upto:
+            # ``target > 0`` keeps vacuous requests (a never-logged page's
+            # page_lsn of 0) out of the absorption count.
+            if self._group_window and up_to_lsn is not None and target > 0:
+                self.stats.absorbed_flushes += 1
+            return
+        if self._group_window:
+            target = min(self.last_lsn, target + self._group_window)
+        self._flushed_upto = target
+        self.stats.flushes += 1
 
     # -- crash / recovery scan ------------------------------------------------
 

@@ -173,6 +173,67 @@ class TestBufferBypass:
         assert found == []
 
 
+# -- no-raw-disk-write --------------------------------------------------------
+
+
+class TestNoRawDiskWrite:
+    def test_fires_in_tests_outside_storage(self):
+        found = findings_for(
+            "tests/reorg/test_seeded.py",
+            """
+            def test_stomp(db, page):
+                db.store.disk.write(page)
+            """,
+            "no-raw-disk-write",
+        )
+        assert rule_names(found) == {"no-raw-disk-write"}
+
+    def test_fires_on_raw_batch_read_in_tools(self):
+        found = findings_for(
+            "tools/seeded_probe.py",
+            """
+            def probe(disk, ids):
+                return disk.read_batch(ids)
+            """,
+            "no-raw-disk-write",
+        )
+        assert rule_names(found) == {"no-raw-disk-write"}
+
+    def test_quiet_in_storage_tests(self):
+        found = findings_for(
+            "tests/storage/test_seeded.py",
+            """
+            def test_roundtrip(disk, page):
+                disk.write(page)
+                return disk.read(page.page_id)
+            """,
+            "no-raw-disk-write",
+        )
+        assert found == []
+
+    def test_quiet_on_buffer_pool_idiom(self):
+        found = findings_for(
+            "tests/reorg/test_seeded.py",
+            """
+            def test_fetch(store, pid):
+                return store.buffer.fetch(pid)
+            """,
+            "no-raw-disk-write",
+        )
+        assert found == []
+
+    def test_suppression_with_reason_accepted(self):
+        found = findings_for(
+            "tests/analysis/test_seeded.py",
+            """
+            def test_catch(db, page):
+                db.store.disk.write(page)  # reprolint: disable=no-raw-disk-write -- the raw write is the point
+            """,
+            "no-raw-disk-write",
+        )
+        assert found == []
+
+
 # -- bare-except --------------------------------------------------------------
 
 

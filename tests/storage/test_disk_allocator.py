@@ -107,6 +107,57 @@ class TestSimulatedDisk:
         assert disk.stats.reads == 0
 
 
+class TestWriteCostModel:
+    def test_writes_charge_sequential_vs_seek(self):
+        disk = make_disk(seek_cost=10.0)
+        disk.write(LeafPage(0, 4))  # first access: a seek
+        disk.write(LeafPage(1, 4))  # sequential
+        disk.write(LeafPage(2, 4))  # sequential
+        disk.write(LeafPage(9, 4))  # seek
+        assert disk.stats.writes == 4
+        assert disk.stats.sequential_writes == 2
+        assert disk.stats.write_cost == pytest.approx(10 + 1 + 1 + 10)
+
+    def test_reads_and_writes_share_one_head(self):
+        disk = make_disk(seek_cost=10.0)
+        for pid in (3, 4, 7, 8):
+            disk.write(LeafPage(pid, 4))
+        disk.stats.reset()
+        disk.reset_read_position()
+        disk.write(LeafPage(3, 4))  # seek: fresh head
+        disk.read(4)  # sequential after the *write* to 3
+        disk.write(LeafPage(5, 4))  # sequential after the read of 4
+        disk.read(7)  # seek
+        disk.write(LeafPage(8, 4))  # sequential after the read of 7
+        assert disk.stats.sequential_reads == 1
+        assert disk.stats.sequential_writes == 2
+        assert disk.stats.seeks == 1  # the read of 7
+        assert disk.stats.read_cost == pytest.approx(1 + 10)
+        assert disk.stats.write_cost == pytest.approx(10 + 1 + 1)
+
+    def test_stats_reset_clears_write_and_batch_fields(self):
+        disk = make_disk()
+        disk.write(LeafPage(0, 4))
+        disk.write(LeafPage(1, 4))
+        disk.read_batch([0, 1])
+        disk.stats.reset()
+        assert disk.stats.sequential_writes == 0
+        assert disk.stats.write_cost == 0.0
+        assert disk.stats.batch_reads == 0
+        assert disk.stats.batch_read_pages == 0
+
+    def test_snapshot_delta_round_trip(self):
+        disk = make_disk()
+        disk.write(LeafPage(0, 4))
+        before = disk.stats.snapshot()
+        disk.write(LeafPage(1, 4))
+        disk.read(0)
+        spent = disk.stats.delta(before)
+        assert spent["writes"] == 1
+        assert spent["reads"] == 1
+        assert spent["sequential_writes"] == 1
+
+
 class TestFreeSpaceMap:
     def setup_method(self):
         self.disk = make_disk()

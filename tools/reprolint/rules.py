@@ -217,6 +217,50 @@ class BufferBypassRule(Rule):
 
 
 @register
+class NoRawDiskWriteRule(Rule):
+    """The batched-I/O layer made the raw disk a sharper knife: ``write``
+    moves the shared head and bills seek/sequential cost, ``read_batch``
+    has an ascending-ids contract.  Tests and tools that poke the disk
+    directly silently distort those numbers for everything measured after
+    them, so raw access is fenced into the storage layer and its own test
+    suite; everyone else goes through the StorageManager / BufferPool."""
+
+    name = "no-raw-disk-write"
+    description = (
+        "no direct SimulatedDisk read/write/erase/read_batch outside the "
+        "storage layer and its tests (distorts the shared-head cost model)"
+    )
+    include = ("src/", "tests/", "tools/")
+    exclude = _STORAGE_PATHS + ("tests/storage/",)
+
+    _DISK_METHODS = {"write", "read", "erase", "read_batch"}
+    _DISK_NAMES = {"disk", "_disk"}
+
+    def _is_disk_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self._DISK_NAMES
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._DISK_NAMES
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in self._DISK_METHODS and self._is_disk_expr(func.value):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"raw disk.{func.attr}(...) outside the storage layer; "
+                    f"it moves the shared disk head and skews the I/O cost "
+                    f"model — use the StorageManager/BufferPool",
+                )
+
+
+@register
 class BareExceptRule(Rule):
     """A bare ``except:`` swallows CrashPoint / KeyboardInterrupt and hides
     protocol violations; always name the exceptions you mean."""
