@@ -22,6 +22,11 @@ data point behind:
   buffer pool, without and with readahead.  The check values carry the
   simulated I/O cost, so the BENCH file quantifies the batching win in
   *cost-model* units, not just wall clock.
+* ``reorg_20k_sharded`` — the sharded forest (docs/sharding.md): the same
+  sparse fixture reorganized as one tree, as a 1-shard forest (must be
+  byte-identical) and as a 4-shard forest with one full three-pass
+  reorganizer per shard.  Checks carry the simulated-clock makespans;
+  the 4-shard run must be >= 2x faster with identical merged scans.
 
 Each workload also returns deterministic *check* values (record counts,
 unit/swap counts, log bytes).  Those must be bit-identical run to run and
@@ -48,6 +53,7 @@ a single BENCH_<n>.json carries the before/after pair and the speedups.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import random
 import sys
@@ -56,12 +62,15 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-from repro.config import ReorgConfig, SidePointerKind, TreeConfig
+from repro.config import ReorgConfig, ShardConfig, SidePointerKind, TreeConfig
 from repro.db import Database
+from repro.reorg.protocols import ReorgProtocol, full_reorganization
 from repro.reorg.reorganizer import Reorganizer
+from repro.shard import ParallelReorganizer, ShardedDatabase
 from repro.sim.driver import ExperimentSetup, run_concurrent_experiment
 from repro.sim.workload import WorkloadConfig
 from repro.storage.page import Record
+from repro.txn.scheduler import Scheduler
 
 try:  # perf counters land in PR 1; the harness predates them on seed code.
     from repro.perf import PERF
@@ -270,6 +279,169 @@ def run_reorg_20k_batched(n_records: int = 20_000) -> dict:
     return run_reorg_20k(n_records, batched=True)
 
 
+#: Simulated-time costs for the sharded-reorg DES runs.  Nonzero pauses /
+#: op durations make the makespan reflect reorganization *work*, so the
+#: single-tree vs N-shard comparison measures parallelism, not epsilon.
+SHARD_DES = dict(unit_pause=0.1, scan_pause=0.1, op_duration=1.0)
+
+
+def _scan_digest(records: list[Record]) -> str:
+    h = hashlib.sha256()
+    for r in records:
+        h.update(f"{r.key}:{r.payload};".encode())
+    return h.hexdigest()[:16]
+
+
+def _leaf_layout_digest(store, tree) -> str:
+    """Digest of (page id, records) for every leaf in key order — the
+    byte-identity witness for the 1-shard vs unsharded comparison."""
+    h = hashlib.sha256()
+    for pid in tree.leaf_ids_in_key_order():
+        leaf = store.get_leaf(pid)
+        h.update(repr((pid, [(r.key, r.payload) for r in leaf.records])).encode())
+    return h.hexdigest()[:16]
+
+
+def _sparse_records(n_records: int) -> tuple[list[Record], list[int]]:
+    """The reorg_20k fixture: full key range, 70% deleted with seed 7."""
+    records = [Record(k, "x" * 16) for k in range(n_records)]
+    doomed = random.Random(7).sample(range(n_records), int(n_records * 0.7))
+    return records, doomed
+
+
+def _sharded_sparse_db(
+    n_records: int, n_shards: int, config: TreeConfig
+) -> ShardedDatabase:
+    sdb = ShardedDatabase(config, ShardConfig(n_shards=n_shards))
+    records, doomed = _sparse_records(n_records)
+    sdb.bulk_load(records, leaf_fill=1.0, internal_fill=0.6)
+    for key in doomed:
+        sdb.delete(key)
+    sdb.flush()
+    sdb.checkpoint()
+    return sdb
+
+
+def _des_reorg_single_tree(db: Database, tree_name: str = "primary") -> float:
+    """Single-tree three-pass reorg on the DES; returns the makespan."""
+    sched = Scheduler(db.locks, store=db.store, log=db.log)
+    proto = ReorgProtocol(
+        db,
+        tree_name,
+        ReorgConfig(target_fill=0.9),
+        abort_hook=lambda txns: [sched.abort_transaction(t) for t in txns],
+        **SHARD_DES,
+    )
+    sched.spawn(
+        full_reorganization(proto), name="reorg-baseline", is_reorganizer=True
+    )
+    sched.run()
+    if sched.failed:
+        txn, error = sched.failed[0]
+        raise RuntimeError(f"baseline reorganizer failed: {error!r}") from error
+    return sched.now
+
+
+def run_reorg_20k_sharded(n_records: int = 20_000, n_shards: int = 4) -> dict:
+    """Sharded-forest parallel reorganization vs the single-tree baseline.
+
+    Three DES runs over the same sparse fixture (bulk load fill 1.0/0.6,
+    70% deleted, seed 7), all with identical simulated costs:
+
+    1. unsharded ``Database`` + single ``ReorgProtocol`` — the baseline
+       makespan;
+    2. 1-shard ``ShardedDatabase`` — must be *byte-identical* to the
+       baseline (leaf layout digest and makespan both equal);
+    3. ``n_shards``-shard forest with :class:`ParallelReorganizer` — the
+       headline: makespan must drop >= 2x at 4 shards while the merged
+       ``range_scan`` stays identical to the baseline's.
+
+    The wall clock covers all three runs; the interesting numbers are the
+    simulated-clock makespans in ``checks``, which are deterministic.
+    """
+    cfg = dict(
+        leaf_capacity=16,
+        internal_capacity=8,
+        leaf_extent_pages=4096,
+        internal_extent_pages=1024,
+        buffer_pool_pages=512,
+        side_pointers=SidePointerKind.ONE_WAY,
+    )
+    t0 = time.perf_counter()
+
+    # 1. Single-tree DES baseline.
+    db = Database(TreeConfig(**cfg))
+    records, doomed = _sparse_records(n_records)
+    tree = db.bulk_load_tree(records, leaf_fill=1.0, internal_fill=0.6)
+    for key in doomed:
+        tree.delete(key)
+    db.flush()
+    db.checkpoint()
+    base_makespan = _des_reorg_single_tree(db)
+    base_tree = db.tree()
+    base_tree.validate()
+    base_scan = base_tree.range_scan(0, n_records)
+    base_digest = _scan_digest(base_scan)
+    base_layout = _leaf_layout_digest(db.store, base_tree)
+
+    # 2. One shard: the degenerate forest must reproduce the baseline
+    #    bit for bit — same leaf layout, same simulated makespan.
+    sdb1 = _sharded_sparse_db(n_records, 1, TreeConfig(**cfg))
+    makespan_1 = ParallelReorganizer(
+        sdb1, ReorgConfig(target_fill=0.9), **SHARD_DES
+    ).run()
+    sdb1.validate()
+    scan1_digest = _scan_digest(sdb1.range_scan(0, n_records))
+    layout_1 = _leaf_layout_digest(
+        sdb1.handle(0).store, sdb1.handle(0).tree()
+    )
+
+    # 3. The parallel forest.
+    sdbn = _sharded_sparse_db(n_records, n_shards, TreeConfig(**cfg))
+    makespan_n = ParallelReorganizer(
+        sdbn, ReorgConfig(target_fill=0.9), **SHARD_DES
+    ).run()
+    sdbn.validate()
+    scan_n = sdbn.range_scan(0, n_records)
+    scan_n_digest = _scan_digest(scan_n)
+    wall = time.perf_counter() - t0
+
+    speedup = base_makespan / makespan_n
+    if scan1_digest != base_digest or scan_n_digest != base_digest:
+        raise AssertionError(
+            "sharded range_scan diverged from the single-tree baseline"
+        )
+    if layout_1 != base_layout:
+        raise AssertionError(
+            "1-shard leaf layout is not byte-identical to unsharded"
+        )
+    if makespan_1 != base_makespan:
+        raise AssertionError(
+            f"1-shard makespan {makespan_1} != baseline {base_makespan}"
+        )
+    if n_shards >= 4 and speedup < 2.0:
+        raise AssertionError(
+            f"parallel reorg speedup {speedup:.2f}x < 2x at {n_shards} shards"
+        )
+    return {
+        "wall_s": wall,
+        "checks": {
+            "record_count": len(base_scan),
+            "sharded_record_count": len(scan_n),
+            "scan_digest": base_digest,
+            "sharded_scan_digest": scan_n_digest,
+            "one_shard_layout_identical": layout_1 == base_layout,
+            "makespan_baseline": round(base_makespan, 6),
+            "makespan_1shard": round(makespan_1, 6),
+            f"makespan_{n_shards}shard": round(makespan_n, 6),
+            "reorg_speedup": round(speedup, 2),
+            "shard_units": sum(
+                h.stats.reorg_units for h in sdbn.handles
+            ),
+        },
+    }
+
+
 def run_range_scan_e6_batched(n_records: int = 20_000) -> dict:
     return run_range_scan_e6(n_records, batched=True)
 
@@ -281,6 +453,7 @@ WORKLOADS = {
     "reorg_20k_batched": run_reorg_20k_batched,
     "range_scan_e6": run_range_scan_e6,
     "range_scan_e6_batched": run_range_scan_e6_batched,
+    "reorg_20k_sharded": run_reorg_20k_sharded,
 }
 
 #: Per-workload overrides for ``--profile``; "full" is the empty default.
@@ -293,6 +466,7 @@ PROFILE_PARAMS: dict[str, dict[str, dict]] = {
         "reorg_20k_batched": {"n_records": 2_000},
         "range_scan_e6": {"n_records": 2_000},
         "range_scan_e6_batched": {"n_records": 2_000},
+        "reorg_20k_sharded": {"n_records": 2_000},
     },
 }
 

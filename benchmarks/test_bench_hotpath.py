@@ -59,6 +59,23 @@ SEED_CHECKS = {
         "read_cost": 17790.0,
         "batch_reads": 0,
     },
+    # Sharded-forest workload (added with BENCH_3.json): the forest must
+    # reproduce the unsharded tree bit-for-bit at one shard (layout and
+    # scan digest), return the identical merged scan at four, and cut the
+    # simulated reorganization makespan by the parallelism the paper's
+    # section 9 sketches.
+    "reorg_20k_sharded": {
+        "record_count": 6000,
+        "sharded_record_count": 6000,
+        "scan_digest": "4dcbebbe7b63a0a1",
+        "sharded_scan_digest": "4dcbebbe7b63a0a1",
+        "one_shard_layout_identical": True,
+        "makespan_baseline": 1178.6,
+        "makespan_1shard": 1178.6,
+        "makespan_4shard": 311.5,
+        "reorg_speedup": 3.78,
+        "shard_units": 452,
+    },
     "range_scan_e6_batched": {
         "records_returned": 20000,
         "reads": 2141,

@@ -363,13 +363,14 @@ def _structural_update(db, tree_name, key, action, think):
     # must first IX the side file; if the side file is X-held the switch is
     # in progress -> instant IX, then restart against the new tree.
     if db.pass3.reorg_bit:
+        sidefile = sidefile_lock(getattr(db, "sidefile_name", ""))
         blocked = yield Call(lambda: _sidefile_switch_in_progress(db))
         if blocked:
-            yield Acquire(sidefile_lock(), IX, instant=True)
+            yield Acquire(sidefile, IX, instant=True)
             for page_id in path:
                 yield Release(page_lock(page_id), X)
             return False
-        yield Acquire(sidefile_lock(), IX)
+        yield Acquire(sidefile, IX)
         # Record-level locking on the side-file entry being made (7.2).
         yield Acquire(sidefile_key(key), X)
     if think:
@@ -379,7 +380,7 @@ def _structural_update(db, tree_name, key, action, think):
 
 
 def _sidefile_switch_in_progress(db: Database) -> bool:
-    holders = db.locks.holders_of(sidefile_lock())
+    holders = db.locks.holders_of(sidefile_lock(getattr(db, "sidefile_name", "")))
     return any(X in modes for modes in holders.values())
 
 

@@ -365,8 +365,7 @@ class BPlusTree:
 
     def insert(self, record: Record, txn: Transaction | None = None) -> None:
         """Insert a record, splitting pages as needed."""
-        path = self._descend_for_insert(record.key)
-        leaf = self.store.get_leaf(path[-1])
+        path, leaf = self._descend_for_insert(record.key)
         if leaf.is_full:
             leaf = self._split_leaf(path, record.key)
         self._log_apply(
@@ -376,8 +375,10 @@ class BPlusTree:
             txn,
         )
 
-    def _descend_for_insert(self, key: int) -> list[PageId]:
-        """Path from the root to the leaf responsible for ``key``,
+    def _descend_for_insert(self, key: int) -> tuple[list[PageId], LeafPage]:
+        """Path from the root to the leaf responsible for ``key``, plus the
+        leaf page itself (already fetched — the caller needs it next, and
+        refetching the MRU frame is pure overhead on the hottest path),
         maintaining *entry key = minimum of child subtree* along the way.
 
         Free-at-empty deallocation leaves entry keys that are only lower
@@ -389,12 +390,12 @@ class BPlusTree:
         :meth:`path_to_leaf`.
         """
         get = self.store.get
-        path = [self.root_id]
-        page = get(path[-1])
+        root = self.root_id
+        path = [root]
+        page = get(root)
         while page.kind is PageKind.INTERNAL:
-            first_key = page.min_key()  # type: ignore[union-attr]
+            first_key, child = page.route_for(key)  # type: ignore[union-attr]
             if key < first_key:
-                child = page.child_for(key)  # type: ignore[union-attr]
                 self._log_apply(
                     BaseEntryUpdateRecord(
                         page_id=page.page_id,
@@ -404,11 +405,9 @@ class BPlusTree:
                         new_child=child,
                     )
                 )
-            else:
-                child = page.child_for(key)  # type: ignore[union-attr]
             path.append(child)
             page = get(child)
-        return path
+        return path, page  # type: ignore[return-value]
 
     def _split_leaf(self, path: list[PageId], pending_key: int) -> LeafPage:
         """Split the leaf at the end of ``path``; return the leaf that

@@ -177,5 +177,42 @@ class ReorgConfig:
             raise ValueError("max_unit_output_pages must be >= 1")
 
 
+@dataclass(frozen=True)
+class ShardConfig:
+    """Shape of a range-partitioned shard forest (:mod:`repro.shard`).
+
+    Attributes:
+        n_shards: number of range partitions.  1 degenerates to a single
+            tree whose layout is byte-identical to an unsharded database
+            built from the same records.
+        tree_prefix: shard tree names are ``f"{tree_prefix}{i}"``.
+        separators: optional explicit partition bounds — ``n_shards - 1``
+            strictly increasing keys; shard ``i`` owns keys in
+            ``[separators[i-1], separators[i])`` (open-ended at both ends).
+            When empty, :meth:`repro.shard.ShardedDatabase.bulk_load`
+            derives equi-populated separators from the loaded records.
+    """
+
+    n_shards: int = 1
+    tree_prefix: str = "shard"
+    separators: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if not self.tree_prefix:
+            raise ValueError("tree_prefix must be non-empty")
+        if self.separators:
+            if len(self.separators) != self.n_shards - 1:
+                raise ValueError(
+                    f"need {self.n_shards - 1} separators for "
+                    f"{self.n_shards} shards, got {len(self.separators)}"
+                )
+            if any(
+                b <= a for a, b in zip(self.separators, self.separators[1:])
+            ):
+                raise ValueError("separators must be strictly increasing")
+
+
 DEFAULT_TREE_CONFIG = TreeConfig()
 DEFAULT_REORG_CONFIG = ReorgConfig()

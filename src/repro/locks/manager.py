@@ -466,9 +466,24 @@ class LockManager:
             self._deliver_deadlock(victim)
 
     def _choose_victim(self, cycle: list[Owner]) -> Owner:
-        for owner in cycle:
-            if getattr(owner, "is_reorganizer", False):
-                return owner
+        reorgs = [
+            owner
+            for owner in cycle
+            if getattr(owner, "is_reorganizer", False)
+        ]
+        if len(reorgs) == 1:
+            return reorgs[0]
+        if reorgs:
+            # Several shard reorganizers deadlocked with each other: pick
+            # deterministically by shard tag, then transaction id, so the
+            # sharded schedule stays replayable.
+            return min(
+                reorgs,
+                key=lambda o: (
+                    str(getattr(o, "shard", None) or ""),
+                    getattr(o, "txn_id", 0),
+                ),
+            )
         # Youngest waiting request loses.
         def seq_of(owner: Owner) -> int:
             request = self.waiting_request(owner)

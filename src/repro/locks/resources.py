@@ -39,8 +39,16 @@ def record_lock(key: int) -> tuple[str, int]:
     return (RECORD, key)
 
 
-def sidefile_lock() -> tuple[str]:
-    return (SIDE_FILE,)
+def sidefile_lock(name: str = "") -> tuple:
+    """The side file as a table.
+
+    The default is the single global side file; a sharded database gives
+    each shard its own side file named after the shard's tree, so shard
+    switches only drain updaters of their own shard.
+    """
+    if not name:
+        return (SIDE_FILE,)
+    return (SIDE_FILE, name)
 
 
 def sidefile_key(key: int) -> tuple[str, int]:

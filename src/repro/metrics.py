@@ -38,3 +38,27 @@ class StatsDeltaMixin:
         """
         now = self.snapshot()
         return {name: value - since.get(name, 0) for name, value in now.items()}
+
+
+@dataclasses.dataclass
+class ShardStats(StatsDeltaMixin):
+    """Per-shard routing and reorganization counters.
+
+    One instance lives on each :class:`repro.shard.ShardHandle`; the
+    sharded facade aggregates them.  Deliberately *not* part of
+    :class:`repro.perf.PerfCounters` — its ``__slots__`` snapshot keys are
+    pinned by the BENCH baselines — so these follow the batched-I/O
+    precedent of living on the object that owns the behaviour.
+    """
+
+    routed_inserts: int = 0
+    routed_deletes: int = 0
+    routed_lookups: int = 0
+    scan_fragments: int = 0
+    scan_records: int = 0
+    reorg_units: int = 0
+    reorg_makespan: float = 0.0
+
+    def reset(self) -> None:
+        for f in dataclasses.fields(self):
+            setattr(self, f.name, type(f.default)())

@@ -119,10 +119,25 @@ class PerfRegistry:
     def __init__(self) -> None:
         self.counters = PerfCounters()
         self.timers = PerfTimers()
+        #: Per-shard counter bags registered by :mod:`repro.shard`.  Kept
+        #: off :class:`PerfCounters` (whose snapshot keys are pinned by the
+        #: BENCH baselines) and out of :meth:`snapshot`; the bench harness
+        #: reads them explicitly via :meth:`shard_snapshot`.
+        self.shards: dict[str, object] = {}
+
+    def register_shard(self, name: str, stats: object) -> None:
+        """Expose one shard's :class:`repro.metrics.ShardStats` here."""
+        self.shards[name] = stats
+
+    def shard_snapshot(self) -> dict[str, dict]:
+        return {
+            name: stats.snapshot() for name, stats in sorted(self.shards.items())
+        }
 
     def reset(self) -> None:
         self.counters.reset()
         self.timers.reset()
+        self.shards.clear()
 
     def events_per_second(self) -> float:
         """DES throughput over the accumulated ``scheduler.run`` time."""

@@ -60,9 +60,14 @@ class LeafCompactor:
         self.tree = tree
         self.config = config
         self.engine = engine or UnitEngine(db, tree)
-        extent = db.store.disk.extent(LEAF_EXTENT)
-        #: L — largest finished leaf page id; starts before the extent.
-        self.largest_finished: PageId = extent.start - 1
+        lease = getattr(db.store, "leaf_lease", None)
+        if lease is not None:
+            start = lease.start
+        else:
+            start = db.store.disk.extent(LEAF_EXTENT).start
+        #: L — largest finished leaf page id; starts before the extent
+        #: (or before the shard's leased slice of it).
+        self.largest_finished: PageId = start - 1
 
     def run(self) -> Pass1Stats:
         stats = Pass1Stats()

@@ -43,10 +43,17 @@ def find_free_page(
     """
     if policy is FreeSpacePolicy.NONE:
         return None
+    lease = getattr(store, "leaf_lease", None)
     if policy is FreeSpacePolicy.FIRST_FIT:
+        if lease is not None:
+            return store.free_map.first_free_in_lease(lease)
         return store.free_map.first_free(LEAF_EXTENT)
     if policy is FreeSpacePolicy.PAPER:
-        return store.free_map.first_free_in_range(
-            LEAF_EXTENT, largest_finished, current
-        )
+        after, before = largest_finished, current
+        if lease is not None:
+            # Clamp L and C to the shard's leased slice: targets outside it
+            # belong to other shards and must never be chosen.
+            after = max(after, lease.start - 1)
+            before = min(before, lease.end)
+        return store.free_map.first_free_in_range(LEAF_EXTENT, after, before)
     raise ValueError(f"unknown policy {policy!r}")

@@ -67,12 +67,19 @@ class ReorgProtocol:
         scan_pause: float = 0.0,
         op_duration: float = 0.0,
         abort_hook: Callable[[list[Transaction]], None] | None = None,
+        sidefile_name: str | None = None,
     ):
         self.db = db
         self.tree_name = tree_name
         self.config = config or ReorgConfig()
         self.tree = db.tree(tree_name)
         self.engine = UnitEngine(db, self.tree)
+        #: Which side file this reorganizer's switch drains.  Defaults to
+        #: the db's own side-file name (shard handles carry one), falling
+        #: back to the single global side file.
+        if sidefile_name is None:
+            sidefile_name = getattr(db, "sidefile_name", "")
+        self._sidefile_resource = sidefile_lock(sidefile_name)
         #: Simulated time consumed between units / between scanned base
         #: pages — models the background pacing of the reorganizer.
         self.unit_pause = unit_pause
@@ -381,10 +388,14 @@ class ReorgProtocol:
         """Swap/move under unit locking; section 4.1 + section 6."""
         yield Acquire(tree_lock(self._lock_name()), IX)
         stats = {"swaps": 0, "moves": 0, "retries": 0}
-        extent = self.db.store.disk.extent(LEAF_EXTENT)
+        lease = getattr(self.db.store, "leaf_lease", None)
+        if lease is not None:
+            start = lease.start
+        else:
+            start = self.db.store.disk.extent(LEAF_EXTENT).start
         max_steps = 4 * len(self.tree.leaf_ids_in_key_order()) + 8
         for _step in range(max_steps):
-            plan = yield Call(lambda: self._next_misplaced(extent.start))
+            plan = yield Call(lambda: self._next_misplaced(start))
             if plan is None:
                 break
             current, target, occupied = plan
@@ -609,7 +620,7 @@ class ReorgProtocol:
         from repro.wal.records import ReorgDoneRecord, TreeSwitchRecord
 
         db = self.db
-        yield Acquire(sidefile_lock(), X)
+        yield Acquire(self._sidefile_resource, X)
         yield Call(shrinker.apply_side_file_once)
         old_root = self.tree.root_id
         new_root = shrinker.new_root
@@ -675,7 +686,7 @@ class ReorgProtocol:
 
         yield Call(finish)
         yield Release(tree_lock(old_lock_name), X)
-        yield Release(sidefile_lock(), X)
+        yield Release(self._sidefile_resource, X)
         stats["old_internal_freed"] = freed
 
 

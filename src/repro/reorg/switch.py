@@ -81,6 +81,8 @@ class Switcher:
         self.tree = tree
         self.shrinker = shrinker
         self.reorg_txn = reorg_txn or Transaction("switcher", is_reorganizer=True)
+        #: Per-shard side files: a shard handle names its own side file.
+        self._sidefile = sidefile_lock(getattr(db, "sidefile_name", ""))
 
     def run(self) -> SwitchStats:
         stats = SwitchStats()
@@ -88,7 +90,7 @@ class Switcher:
             raise ReorgError("new upper levels are not built; run pass 3 first")
         locks = self.db.locks
         # 1. X lock the side file: stops base-page updaters on both trees.
-        locks.request(self.reorg_txn, sidefile_lock(), LockMode.X)
+        locks.request(self.reorg_txn, self._sidefile, LockMode.X)
         try:
             # 2. Catch up the stragglers appended while acquiring the lock.
             stats.final_catchup_entries = self.shrinker.apply_side_file_once()
@@ -122,7 +124,7 @@ class Switcher:
             self._clear_pass3_state()
             locks.release(self.reorg_txn, tree_lock(old_lock_name), LockMode.X)
         finally:
-            locks.release(self.reorg_txn, sidefile_lock(), LockMode.X)
+            locks.release(self.reorg_txn, self._sidefile, LockMode.X)
         return stats
 
     def finish_pending_switch(
@@ -136,7 +138,7 @@ class Switcher:
         """
         stats = SwitchStats(old_root=old_root, new_root=new_root)
         locks = self.db.locks
-        locks.request(self.reorg_txn, sidefile_lock(), LockMode.X)
+        locks.request(self.reorg_txn, self._sidefile, LockMode.X)
         try:
             if self.db.store.disk.get_meta(f"root:{self.tree.name}.new") is not None:
                 stats.final_catchup_entries = self.shrinker.apply_side_file_once()
@@ -149,7 +151,7 @@ class Switcher:
             self._clear_pass3_state()
             locks.release(self.reorg_txn, tree_lock(old_lock_name), LockMode.X)
         finally:
-            locks.release(self.reorg_txn, sidefile_lock(), LockMode.X)
+            locks.release(self.reorg_txn, self._sidefile, LockMode.X)
         return stats
 
     def _clear_pass3_state(self) -> None:

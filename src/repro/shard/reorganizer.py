@@ -1,0 +1,114 @@
+"""Fully parallel three-pass reorganization across shards.
+
+One :class:`~repro.reorg.protocols.ReorgProtocol` per shard — each running
+the complete compact → swap → shrink sequence, including side-file capture
+and the section 7.4 switch — spawned as interleaved processes on the one
+deterministic scheduler.  Safety comes from the partitioning itself:
+
+* trees are disjoint, so unit locking never crosses shards;
+* new-place / upper-level allocation is confined to per-shard extent
+  leases, so Find-Free-Space targets cannot collide;
+* each shard switch drains its *own* side file
+  (``sidefile_lock(tree_name)``) and its own tree-lock epoch, leaving the
+  other shards' traffic untouched;
+* unit ids come from one shared counter, so the progress table and crash
+  recovery see globally unique units, exactly as in the single-tree
+  parallel-pass-1 extension.
+
+Each reorganizer transaction carries ``shard=<tree name>``, which the
+deadlock victim policy uses for a deterministic choice when two shard
+reorganizers ever cycle with each other (e.g. through shared user keys).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.config import ReorgConfig
+from repro.reorg.parallel import _SharedUnitIds
+from repro.reorg.protocols import ReorgProtocol, full_reorganization
+from repro.shard.database import ShardedDatabase
+from repro.shard.handle import ShardHandle
+from repro.txn.scheduler import Scheduler
+from repro.txn.transaction import Transaction
+
+
+class ParallelReorganizer:
+    """Spawns one full three-pass reorganizer per shard."""
+
+    def __init__(
+        self,
+        sdb: ShardedDatabase,
+        config: ReorgConfig | None = None,
+        *,
+        unit_pause: float = 0.0,
+        scan_pause: float = 0.0,
+        op_duration: float = 0.0,
+    ):
+        self.sdb = sdb
+        self.config = config or ReorgConfig()
+        self.unit_pause = unit_pause
+        self.scan_pause = scan_pause
+        self.op_duration = op_duration
+        #: Globally monotonic unit ids across all shard workers.
+        self._unit_ids = _SharedUnitIds()
+        #: Per-shard pass stats, filled as each reorganizer completes.
+        self.results: dict[str, dict] = {}
+
+    def protocol_for(
+        self, handle: ShardHandle, scheduler: Scheduler
+    ) -> ReorgProtocol:
+        proto = ReorgProtocol(
+            handle,
+            handle.tree_name,
+            self.config,
+            unit_pause=self.unit_pause,
+            scan_pause=self.scan_pause,
+            op_duration=self.op_duration,
+            abort_hook=lambda txns: [
+                scheduler.abort_transaction(t) for t in txns
+            ],
+        )
+        proto.engine._unit_ids = self._unit_ids
+        return proto
+
+    def _run_one(
+        self, handle: ShardHandle, proto: ReorgProtocol, scheduler: Scheduler
+    ) -> Generator[Any, Any, dict]:
+        stats = yield from full_reorganization(proto)
+        handle.stats.reorg_units += stats.get("pass1", {}).get("units", 0)
+        handle.stats.reorg_makespan = scheduler.now
+        self.results[handle.tree_name] = stats
+        return stats
+
+    def spawn_all(
+        self, scheduler: Scheduler, *, at: float = 0.0
+    ) -> list[Transaction]:
+        """Register one reorganizer process per shard; returns their txns."""
+        txns = []
+        for handle in self.sdb.handles:
+            proto = self.protocol_for(handle, scheduler)
+            txn = scheduler.spawn(
+                self._run_one(handle, proto, scheduler),
+                name=f"reorg-{handle.tree_name}",
+                at=at,
+                is_reorganizer=True,
+                shard=handle.tree_name,
+            )
+            txns.append(txn)
+        return txns
+
+    def run(self, scheduler: Scheduler | None = None) -> float:
+        """Reorganize every shard concurrently; returns the DES makespan."""
+        if scheduler is None:
+            scheduler = Scheduler(
+                self.sdb.locks, store=self.sdb.store, log=self.sdb.log
+            )
+        self.spawn_all(scheduler)
+        scheduler.run()
+        if scheduler.failed:
+            txn, error = scheduler.failed[0]
+            raise RuntimeError(
+                f"shard reorganizer {txn.name} failed: {error!r}"
+            ) from error
+        return scheduler.now

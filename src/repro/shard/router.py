@@ -1,0 +1,45 @@
+"""The key router: which shard owns which key range.
+
+Range partitioning by ``n_shards - 1`` strictly increasing separator keys:
+shard 0 owns ``(-inf, sep[0])``, shard i owns ``[sep[i-1], sep[i])``, the
+last shard owns ``[sep[-1], +inf)``.  Routing is a single bisect, and
+range queries map to a contiguous run of shards, so a cross-shard scan is
+a concatenation of per-shard scans — no merge heap needed.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+
+class ShardRouter:
+    """Maps keys and key ranges to shard indices."""
+
+    def __init__(self, separators: tuple[int, ...], n_shards: int):
+        if len(separators) != n_shards - 1:
+            raise ValueError(
+                f"need {n_shards - 1} separators for {n_shards} shards, "
+                f"got {len(separators)}"
+            )
+        if any(b <= a for a, b in zip(separators, separators[1:])):
+            raise ValueError("separators must be strictly increasing")
+        self.separators = tuple(separators)
+        self.n_shards = n_shards
+
+    def shard_for(self, key: int) -> int:
+        """Index of the shard owning ``key``."""
+        return bisect.bisect_right(self.separators, key)
+
+    def shards_for_range(self, low: int, high: int) -> range:
+        """Contiguous run of shard indices overlapping ``[low, high]``."""
+        if high < low:
+            return range(0, 0)
+        return range(self.shard_for(low), self.shard_for(high) + 1)
+
+    def key_range_of(self, shard: int) -> tuple[int | None, int | None]:
+        """(inclusive low, exclusive high) bound of a shard; None = open."""
+        low = self.separators[shard - 1] if shard > 0 else None
+        high = (
+            self.separators[shard] if shard < self.n_shards - 1 else None
+        )
+        return low, high

@@ -29,6 +29,7 @@ The write-ahead log layer emits those records; recovery reconciles via
 from __future__ import annotations
 
 import bisect
+from dataclasses import dataclass
 
 from repro.errors import (
     ExtentFullError,
@@ -42,6 +43,28 @@ from repro.storage.page import PageId
 #: Compact a free list's consumed prefix once it exceeds this many slots
 #: and the live tail (amortizes the O(n) deletion over O(n) allocations).
 _COMPACT_THRESHOLD = 64
+
+
+@dataclass(frozen=True)
+class ExtentLease:
+    """An exclusive sub-range ``[start, end)`` of one extent.
+
+    Shards lease disjoint slices of the shared leaf/internal extents so
+    their Find-Free-Space targets can never collide: every allocation a
+    shard makes goes through its lease, and leases are validated to be
+    non-overlapping at grant time.
+    """
+
+    extent: str
+    start: PageId
+    end: PageId
+
+    def contains(self, page_id: PageId) -> bool:
+        return self.start <= page_id < self.end
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
 
 
 class FreeSpaceMap:
@@ -65,6 +88,8 @@ class FreeSpaceMap:
         )
         self._starts = [start for start, _ in by_start]
         self._names_by_start = [name for _, name in by_start]
+        #: Granted per-shard leases, per extent (disjoint by construction).
+        self._leases: dict[str, list[ExtentLease]] = {}
 
     # -- queries ------------------------------------------------------------
 
@@ -118,6 +143,61 @@ class FreeSpaceMap:
         free = self._free[extent_name]
         head = self._head[extent_name]
         return free[head] if head < len(free) else None
+
+    # -- leases -------------------------------------------------------------
+
+    def grant_lease(self, extent_name: str, start: PageId, end: PageId) -> ExtentLease:
+        """Grant an exclusive ``[start, end)`` slice of ``extent_name``.
+
+        Validates that the slice lies inside the extent and overlaps no
+        previously granted lease — this is the static half of the per-shard
+        Find-Free-Space arbitration (the dynamic half is that every shard
+        allocation goes through :meth:`allocate_in_lease`).
+        """
+        extent = self._extents[extent_name]
+        if not (extent.start <= start < end <= extent.end):
+            raise StorageError(
+                f"lease [{start}, {end}) outside extent {extent_name!r} "
+                f"[{extent.start}, {extent.end})"
+            )
+        for other in self._leases.get(extent_name, ()):
+            if start < other.end and other.start < end:
+                raise StorageError(
+                    f"lease [{start}, {end}) overlaps existing lease "
+                    f"[{other.start}, {other.end}) in extent {extent_name!r}"
+                )
+        lease = ExtentLease(extent_name, start, end)
+        self._leases.setdefault(extent_name, []).append(lease)
+        return lease
+
+    def drop_leases(self, extent_name: str | None = None) -> None:
+        """Forget granted leases (all extents by default)."""
+        if extent_name is None:
+            self._leases.clear()
+        else:
+            self._leases.pop(extent_name, None)
+
+    def first_free_in_lease(self, lease: ExtentLease) -> PageId | None:
+        """Smallest free page id within the lease, or None if exhausted."""
+        return self.first_free_in_range(lease.extent, lease.start - 1, lease.end)
+
+    def allocate_in_lease(
+        self, lease: ExtentLease, page_id: PageId | None = None
+    ) -> PageId:
+        """Allocate within the lease (smallest free page by default)."""
+        if page_id is None:
+            page_id = self.first_free_in_lease(lease)
+            if page_id is None:
+                raise ExtentFullError(
+                    f"lease [{lease.start}, {lease.end}) of extent "
+                    f"{lease.extent!r} has no free pages"
+                )
+        elif not lease.contains(page_id):
+            raise StorageError(
+                f"page {page_id} outside lease [{lease.start}, {lease.end}) "
+                f"of extent {lease.extent!r}"
+            )
+        return self.allocate(lease.extent, page_id)
 
     # -- mutations ----------------------------------------------------------
 

@@ -109,6 +109,7 @@ class BufferPool:
         self._disk = disk
         self._capacity = capacity
         self._wal: WALHook = wal if wal is not None else _NullWAL()
+        self._wal_absorbs = bool(getattr(self._wal, "absorbs_flushes", False))
         self._careful_writing = careful_writing
         self._elevator = elevator
         self._writeback_batch = writeback_batch
@@ -117,11 +118,14 @@ class BufferPool:
         #: Invariant: either None or the key currently last in ``_frames``.
         #: Lets repeat fetches of the hottest page skip ``move_to_end``.
         self._mru_id: PageId | None = None
-        # Bound dict membership test shadowing the `contains` method below:
-        # the DES charges a residency-dependent cost per FetchPage, so this
-        # runs once per simulated page access.  `_frames` is cleared in
-        # place on crash, never rebound, so the bound method stays valid.
+        # Bound dict methods shadowing `contains` (below) and feeding the
+        # `fetch` hit path: the DES charges a residency-dependent cost per
+        # FetchPage, so these run once per simulated page access.  `_frames`
+        # is cleared in place on crash, never rebound, so the bound methods
+        # stay valid.
         self.contains = self._frames.__contains__
+        self._frames_get = self._frames.get
+        self._frames_move_to_end = self._frames.move_to_end
         #: source page id -> set of destination page ids that must be
         #: durable before the source may be written or deallocated.
         self._write_before: dict[PageId, set[PageId]] = {}
@@ -143,6 +147,7 @@ class BufferPool:
     def set_wal(self, wal: WALHook) -> None:
         """Attach the log manager after construction (breaks an init cycle)."""
         self._wal = wal
+        self._wal_absorbs = bool(getattr(wal, "absorbs_flushes", False))
 
     @property
     def careful_writing(self) -> bool:
@@ -156,7 +161,7 @@ class BufferPool:
 
     def fetch(self, page_id: PageId, *, pin: bool = False) -> Page:
         """Return the in-pool page object, reading from disk on a miss."""
-        frame = self._frames.get(page_id)
+        frame = self._frames_get(page_id)
         if frame is not None:
             self.hits += 1
             _COUNTERS.buffer_hits += 1
@@ -164,7 +169,7 @@ class BufferPool:
                 frame.prefetched = False
                 self.prefetch_hits += 1
             if page_id != self._mru_id:
-                self._frames.move_to_end(page_id)
+                self._frames_move_to_end(page_id)
                 self._mru_id = page_id
             else:
                 # Already the newest entry; move_to_end would be a no-op.
@@ -237,7 +242,11 @@ class BufferPool:
 
     def mark_dirty(self, page_id: PageId, lsn: int | None = None) -> None:
         """Mark a buffered page dirty, optionally stamping its page LSN."""
-        frame = self._require_frame(page_id)
+        # One call per applied log record; inline the frame lookup rather
+        # than going through `_require_frame`.
+        frame = self._frames_get(page_id)
+        if frame is None:
+            raise BufferPoolError(f"page {page_id} is not buffered")
         frame.dirty = True
         if lsn is not None:
             frame.page.page_lsn = lsn
@@ -280,6 +289,8 @@ class BufferPool:
 
     def _clear_dependencies_on(self, dest: PageId) -> None:
         """``dest`` became durable; drop edges pointing at it."""
+        if not self._write_before:
+            return
         empty_sources = []
         for source, dests in self._write_before.items():
             dests.discard(dest)
@@ -298,10 +309,12 @@ class BufferPool:
         conceivable from buggy callers) raises
         :class:`~repro.errors.CarefulWriteViolation`.
         """
-        self._flush_page(page_id, in_progress=set())
+        self._flush_page(page_id)
 
-    def _flush_page(self, page_id: PageId, *, in_progress: set[PageId]) -> None:
-        if page_id in in_progress:
+    def _flush_page(
+        self, page_id: PageId, *, in_progress: set[PageId] | None = None
+    ) -> None:
+        if in_progress is not None and page_id in in_progress:
             raise CarefulWriteViolation(
                 f"careful-writing dependency cycle involving page {page_id}"
             )
@@ -311,16 +324,28 @@ class BufferPool:
             # edges that point at them so sources can make progress.
             self._clear_dependencies_on(page_id)
             return
-        in_progress.add(page_id)
-        for dest in sorted(self.pending_dependencies(page_id)):
-            self._flush_page(dest, in_progress=in_progress)
-        in_progress.discard(page_id)
+        # `sorted` snapshots the dependency set before any recursive flush
+        # can mutate it via `_clear_dependencies_on`; no defensive copy
+        # (or cycle bookkeeping) is needed when there are no edges at all,
+        # which is every flush outside a reorganization.
+        deps = self._write_before.get(page_id)
+        if deps:
+            if in_progress is None:
+                in_progress = set()
+            in_progress.add(page_id)
+            for dest in sorted(deps):
+                self._flush_page(dest, in_progress=in_progress)
+            in_progress.discard(page_id)
         if frame.page.page_lsn <= self._wal.flushed_lsn:
             _COUNTERS.wal_flush_skips += 1
-        # Always hand the WAL rule's request to the log manager: a request
-        # already covered by the stable boundary is a no-op there, but with
-        # group commit on it is exactly an "absorbed" flush and gets counted.
-        self._wal.flush(frame.page.page_lsn)
+            # With group commit on, a request already covered by the stable
+            # boundary is exactly an "absorbed" flush and must still reach
+            # the log manager to be counted; otherwise it would be a no-op
+            # there and the call is skipped entirely.
+            if self._wal_absorbs:
+                self._wal.flush(frame.page.page_lsn)
+        else:
+            self._wal.flush(frame.page.page_lsn)
         self._disk.write(frame.page)
         frame.dirty = False
         self.page_writes += 1
@@ -358,7 +383,7 @@ class BufferPool:
         """
         frame = self._frames.get(page_id)
         for dest in sorted(self.pending_dependencies(page_id)):
-            self._flush_page(dest, in_progress=set())
+            self._flush_page(dest)
         self._write_before.pop(page_id, None)
         if frame is not None:
             if frame.pins > 0:
@@ -400,7 +425,7 @@ class BufferPool:
                     if self._elevator:
                         self._writeback_sweep(page_id)
                     else:
-                        self._flush_page(page_id, in_progress=set())
+                        self._flush_page(page_id)
                 if frame.prefetched:
                     self.prefetch_wasted += 1
                 del self._frames[page_id]
@@ -426,5 +451,5 @@ class BufferPool:
         )
         start = dirty.index(victim_id)
         for page_id in dirty[start : start + self._writeback_batch]:
-            self._flush_page(page_id, in_progress=set())
+            self._flush_page(page_id)
         self.writeback_sweeps += 1

@@ -139,6 +139,17 @@ class LeafPage(Page):
     def capacity(self) -> int:
         return self._capacity
 
+    # Direct overrides of the base-class helpers: the generic versions
+    # chain two property dispatches per call, and both run on every insert
+    # and scan step.
+    @property
+    def is_full(self) -> bool:
+        return len(self._records) >= self._capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._records
+
     # -- record operations ----------------------------------------------------
 
     @property
@@ -312,6 +323,15 @@ class InternalPage(Page):
     def capacity(self) -> int:
         return self._capacity
 
+    # Direct overrides — see LeafPage for why.
+    @property
+    def is_full(self) -> bool:
+        return len(self._keys) >= self._capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._keys
+
     # -- entry operations -----------------------------------------------------
 
     @property
@@ -342,7 +362,26 @@ class InternalPage(Page):
         return i if i > 0 else 0
 
     def child_for(self, key: int) -> PageId:
-        return self._children[self.child_index_for(key)]
+        # Inlined `child_index_for` — one probe per level on every descent.
+        keys = self._keys
+        if not keys:
+            raise BTreeError(f"internal page {self.page_id} is empty")
+        i = bisect.bisect_right(keys, key) - 1
+        return self._children[i if i > 0 else 0]
+
+    def route_for(self, key: int) -> tuple[int, PageId]:
+        """``(min entry key, child for key)`` in one probe.
+
+        The insert descent needs both — the minimum to maintain *entry key
+        = minimum of child subtree*, the child to keep descending — and a
+        combined lookup halves the per-level call count on the hottest
+        path in the tree.
+        """
+        keys = self._keys
+        if not keys:
+            raise BTreeError(f"internal page {self.page_id} is empty")
+        i = bisect.bisect_right(keys, key) - 1
+        return keys[0], self._children[i if i > 0 else 0]
 
     def index_of_child(self, child: PageId) -> int:
         """Index of ``child`` in the child list, or -1 if absent."""

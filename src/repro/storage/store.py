@@ -43,11 +43,13 @@ class StorageManager:
             elevator=self.config.elevator_writeback,
             writeback_batch=self.config.writeback_batch,
         )
-        # Shadow the `get` method with the pool's bound fetch: `store.get`
-        # is the single hottest call in every workload and the wrapper frame
-        # is pure overhead.  The def below remains as documentation and for
-        # anything holding an unbound reference.
+        # Shadow the `get` and `mark_dirty` methods with the pool's bound
+        # equivalents: they are the hottest calls in every workload (one
+        # `mark_dirty` per applied log record) and the wrapper frame is pure
+        # overhead.  The defs below remain as documentation and for anything
+        # holding an unbound reference.
         self.get = self.buffer.fetch
+        self.mark_dirty = self.buffer.mark_dirty
 
     # -- wiring ---------------------------------------------------------------
 

@@ -144,9 +144,12 @@ class Scheduler:
         name: str | None = None,
         at: float = 0.0,
         is_reorganizer: bool = False,
+        shard: str | None = None,
     ) -> Transaction:
         """Register a protocol generator to start at simulated time ``at``."""
-        transaction = txn or Transaction(name, is_reorganizer=is_reorganizer)
+        transaction = txn or Transaction(
+            name, is_reorganizer=is_reorganizer, shard=shard
+        )
         process = _Process(transaction, gen)
         process.on_grant = self._make_grant_callback(process)
         process.on_deadlock = self._make_deadlock_callback(process)

@@ -47,10 +47,19 @@ class TxnMetrics:
 class Transaction:
     """Lock owner + metrics holder for one scheduled process."""
 
-    def __init__(self, name: str | None = None, *, is_reorganizer: bool = False):
+    def __init__(
+        self,
+        name: str | None = None,
+        *,
+        is_reorganizer: bool = False,
+        shard: str | None = None,
+    ):
         self.txn_id: int = next(_txn_ids)
         self.name = name or f"txn-{self.txn_id}"
         self.is_reorganizer = is_reorganizer
+        #: Which shard this process works for (victim-policy tie-break when
+        #: several shard reorganizers deadlock with each other).
+        self.shard = shard
         self.state = TxnState.ACTIVE
         self.metrics = TxnMetrics()
         #: LSN of this transaction's most recent log record (undo chain head).

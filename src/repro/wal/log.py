@@ -97,6 +97,12 @@ class LogManager:
         return self._flushed_upto
 
     @property
+    def absorbs_flushes(self) -> bool:
+        """True when group commit is on and flush requests for already-stable
+        LSNs must still reach :meth:`flush` to be counted as absorbed."""
+        return self._group_window > 0
+
+    @property
     def last_checkpoint_lsn(self) -> int:
         return self._last_checkpoint_lsn
 

@@ -527,6 +527,11 @@ class CheckpointRecord(LogRecord):
     side_file: tuple[tuple[int, PageId, str], ...] = ()
     #: New base pages closed so far by pass 3: (low key, page id).
     pass3_built: tuple[tuple[int, PageId], ...] = ()
+    #: Sharded databases: per-shard pass-3 state as
+    #: (tree_name, reorg_bit, stable_key, new_root, side_file, built)
+    #: tuples.  Empty (zero log bytes) for unsharded databases, keeping
+    #: their checkpoint sizes identical to the pre-shard baselines.
+    shard_pass3: tuple = ()
 
     def log_bytes(self) -> int:
         return (
@@ -535,4 +540,11 @@ class CheckpointRecord(LogRecord):
             + 6 * _INT_BYTES
             + 3 * _INT_BYTES * len(self.side_file)
             + 2 * _INT_BYTES * len(self.pass3_built)
+            + sum(
+                len(name)
+                + 4 * _INT_BYTES
+                + 3 * _INT_BYTES * len(side)
+                + 2 * _INT_BYTES * len(built)
+                for name, _bit, _sk, _nr, side, built in self.shard_pass3
+            )
         )

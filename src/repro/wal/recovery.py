@@ -97,6 +97,10 @@ class RecoveryReport:
     built_entries: list[tuple[int, PageId]] = field(default_factory=list)
     #: Set when the switch had begun: (old_root, new_root, old_lock_name).
     switch_pending: tuple[PageId, PageId, str] | None = None
+    #: Sharded databases: checkpointed per-shard pass-3 state, keyed by
+    #: shard tree name (raw checkpoint tuples; see
+    #: :meth:`repro.shard.ShardedDatabase.recover`).
+    shard_pass3: dict[str, tuple] = field(default_factory=dict)
 
     @property
     def pending_unit(self) -> PendingReorgUnit | None:
@@ -115,6 +119,7 @@ def take_checkpoint(
     reorg_bit: bool = False,
     side_file: list[tuple[int, PageId, str]] | None = None,
     pass3_built: list[tuple[int, PageId]] | None = None,
+    shard_pass3: tuple = (),
 ) -> int:
     """Take a sharp checkpoint; returns its LSN."""
     store.flush_all()
@@ -136,6 +141,7 @@ def take_checkpoint(
         reorg_bit=reorg_bit,
         side_file=tuple(side_file or ()),
         pass3_built=tuple(pass3_built or ()),
+        shard_pass3=tuple(shard_pass3),
     )
     lsn = log.append(record)
     log.flush()
@@ -170,6 +176,9 @@ class RecoveryManager:
             report.reorg_bit = checkpoint.reorg_bit
             report.side_file = list(checkpoint.side_file)
             report.built_entries = list(checkpoint.pass3_built)
+            report.shard_pass3 = {
+                entry[0]: entry for entry in checkpoint.shard_pass3
+            }
             if checkpoint.progress_units:
                 for _uid, unit_begin, unit_recent in checkpoint.progress_units:
                     unit = self._reconstruct_unit_from(unit_begin, unit_recent)

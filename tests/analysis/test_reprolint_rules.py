@@ -583,6 +583,63 @@ class TestChoicePointRegistered:
         assert found == []
 
 
+# -- shard-router-only --------------------------------------------------------
+
+
+class TestShardRouterOnly:
+    def test_fires_on_database_tree_call(self):
+        found = findings_for(
+            "src/repro/shard/seeded.py",
+            """
+            def leak(db):
+                return db.tree()
+            """,
+            "shard-router-only",
+        )
+        assert rule_names(found) == {"shard-router-only"}
+
+    def test_fires_on_attribute_receiver(self):
+        found = findings_for(
+            "src/repro/shard/seeded.py",
+            """
+            class Facade:
+                def leak(self):
+                    return self._db.tree("primary")
+            """,
+            "shard-router-only",
+        )
+        assert rule_names(found) == {"shard-router-only"}
+
+    def test_quiet_on_handle_access_and_attach(self):
+        found = findings_for(
+            "src/repro/shard/seeded.py",
+            """
+            def route(handle, store, log):
+                tree = handle.tree()
+                other = BPlusTree.attach(store, log, name="shard0")
+                return tree, other
+            """,
+            "shard-router-only",
+        )
+        assert found == []
+
+    def test_scoped_to_shard_package_only(self):
+        source = """
+        def fine(db):
+            return db.tree()
+        """
+        for path in ("src/repro/sim/seeded.py", "tests/shard/seeded.py"):
+            assert findings_for(path, source, "shard-router-only") == []
+
+    def test_shard_package_is_clean(self):
+        from reprolint.engine import lint_paths
+
+        found = lint_paths(
+            ["src/repro/shard"], root=REPO_ROOT, rules=["shard-router-only"]
+        )
+        assert found == []
+
+
 # -- engine behaviour ---------------------------------------------------------
 
 

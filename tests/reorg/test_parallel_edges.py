@@ -1,0 +1,137 @@
+"""Edge cases of the parallel pass-1 builder (paper's future work, §9).
+
+Companion to test_parallel.py: degenerate worker counts, empty
+partitions, and a worker dying mid-unit while the rest finish.
+"""
+
+from repro.config import ReorgConfig, TreeConfig
+from repro.db import Database
+from repro.reorg.parallel import (
+    ParallelReorgProtocol,
+    _SharedUnitIds,
+    build_parallel_pass1,
+    partition_base_pages,
+)
+from repro.reorg.reorganizer import Reorganizer
+from repro.sim.crash import crash_recover
+from repro.sim.workload import build_sparse_tree
+from repro.txn.scheduler import Scheduler
+
+
+def make_db(n=300):
+    db = Database(
+        TreeConfig(
+            leaf_capacity=8,
+            internal_capacity=8,
+            leaf_extent_pages=1024,
+            internal_extent_pages=512,
+            buffer_pool_pages=256,
+        )
+    )
+    build_sparse_tree(db, n_records=n, fill_after=0.3)
+    db.flush()
+    db.checkpoint()
+    return db
+
+
+class TestMoreWorkersThanPartitions:
+    def test_builder_clamps_to_base_page_count(self):
+        """Asking for far more workers than base pages must not create
+        idle/empty workers — one non-empty partition per protocol."""
+        db = make_db(n=100)
+        base_ids = partition_base_pages(db, "primary", 1)[0]
+        protocols = build_parallel_pass1(db, "primary", ReorgConfig(), 64)
+        assert len(protocols) <= len(base_ids)
+        assert all(p.base_partition for p in protocols)
+        covered = [pid for p in protocols for pid in p.base_partition]
+        assert sorted(covered) == sorted(base_ids)
+
+    def test_oversubscribed_run_still_compacts_correctly(self):
+        db = make_db(n=100)
+        expected = sorted(r.key for r in db.tree().items())
+        sched = Scheduler(db.locks, store=db.store, log=db.log, io_time=0.02)
+        protocols = build_parallel_pass1(db, "primary", ReorgConfig(), 64)
+        for i, proto in enumerate(protocols):
+            sched.spawn(proto.pass1(), name=f"w{i}", is_reorganizer=True)
+        sched.run()
+        assert sched.failed == []
+        tree = db.tree()
+        tree.validate()
+        assert sorted(r.key for r in tree.items()) == expected
+
+
+class TestEmptyPartition:
+    def test_empty_partition_worker_is_a_clean_noop(self):
+        """A worker given no base pages (the builder never produces one,
+        but a hand-built schedule can) completes without touching the
+        tree or the unit-id stream."""
+        db = make_db(n=100)
+        expected = sorted(r.key for r in db.tree().items())
+        ids = _SharedUnitIds()
+        proto = ParallelReorgProtocol(
+            db, "primary", ReorgConfig(), base_partition=[], shared_ids=ids
+        )
+        sched = Scheduler(db.locks, store=db.store, log=db.log, io_time=0.02)
+        sched.spawn(proto.pass1(), name="idle-worker", is_reorganizer=True)
+        sched.run()
+        assert sched.failed == []
+        assert len(sched.completed) == 1
+        assert next(ids) == 1  # no unit ids consumed
+        tree = db.tree()
+        tree.validate()
+        assert sorted(r.key for r in tree.items()) == expected
+        assert not db.progress.unit_in_flight
+
+    def test_empty_partition_alongside_real_workers(self):
+        db = make_db()
+        expected = sorted(r.key for r in db.tree().items())
+        sched = Scheduler(db.locks, store=db.store, log=db.log, io_time=0.02)
+        protocols = build_parallel_pass1(db, "primary", ReorgConfig(), 2)
+        shared = protocols[0].engine._unit_ids
+        idle = ParallelReorgProtocol(
+            db, "primary", ReorgConfig(), base_partition=[], shared_ids=shared
+        )
+        for i, proto in enumerate(protocols + [idle]):
+            sched.spawn(proto.pass1(), name=f"w{i}", is_reorganizer=True)
+        sched.run()
+        assert sched.failed == []
+        assert len(sched.completed) == 3
+        tree = db.tree()
+        tree.validate()
+        assert sorted(r.key for r in tree.items()) == expected
+
+
+class TestWorkerFailureMidUnit:
+    def test_aborted_worker_lands_in_failed_others_finish(self):
+        """Kill one worker mid-run: it must surface in ``sched.failed``
+        while the surviving workers complete their partitions and the
+        tree stays intact (units are atomic, so no half-moved records)."""
+        db = make_db()
+        expected = sorted(r.key for r in db.tree().items())
+        sched = Scheduler(db.locks, store=db.store, log=db.log, io_time=0.02)
+        protocols = build_parallel_pass1(
+            db, "primary", ReorgConfig(), 3, op_duration=0.3
+        )
+        txns = [
+            sched.spawn(p.pass1(), name=f"w{i}", is_reorganizer=True)
+            for i, p in enumerate(protocols)
+        ]
+        # Let every worker get into the thick of its partition, then
+        # abort one mid-unit and let the rest run to completion.
+        sched.run(until=1.0)
+        sched.abort_transaction(txns[0])
+        sched.run()
+        assert len(sched.failed) == 1
+        assert sched.failed[0][0] is txns[0]
+        completed = {t for t, _ in sched.completed}
+        for survivor in txns[1:]:
+            assert survivor in completed
+        # The dead worker's in-flight unit is an orphan in the progress
+        # table; forward recovery (the same machinery a crash uses) must
+        # finish it and hand back every record.
+        recovery = crash_recover(db)
+        Reorganizer(db, db.tree(), ReorgConfig()).forward_recover(recovery)
+        assert not db.progress.unit_in_flight
+        tree = db.tree()
+        tree.validate()
+        assert sorted(r.key for r in tree.items()) == expected

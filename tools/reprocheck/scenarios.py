@@ -245,6 +245,72 @@ def _build_scan_vs_pass1() -> World:
     )
 
 
+# -- shard-reorg-scan ---------------------------------------------------------------
+
+
+def _build_shard_reorg_scan() -> World:
+    """Two shard reorganizers run the full per-shard three-pass algorithm
+    concurrently while a cross-shard range scan and per-shard point
+    readers traverse the forest.  The scenario restricts itself to the
+    read-linearizability and switch-safety invariants: the whole-tree
+    structure / side-file invariants assume one tree covering every
+    initial key, which a forest deliberately is not."""
+    import random
+
+    from repro.config import ShardConfig
+    from repro.shard import ParallelReorganizer, ShardedDatabase
+
+    sdb = ShardedDatabase(_tiny_config(), ShardConfig(n_shards=2))
+    keys = list(range(32))
+    sdb.bulk_load([Record(k, "v") for k in keys])
+    for key in random.Random(21).sample(keys, 16):
+        sdb.delete(key)
+    sdb.flush()
+    sdb.checkpoint()
+    initial = frozenset(r.key for r in sdb.range_scan(0, 31))
+    scheduler = Scheduler(
+        sdb.locks, store=sdb.store, log=sdb.log, io_time=1.0, hit_time=0.05
+    )
+    reorg = ParallelReorganizer(
+        sdb,
+        ReorgConfig(do_swap_pass=False, stable_point_interval=3),
+        op_duration=0.3,
+        unit_pause=0.05,
+    )
+    reorg.spawn_all(scheduler)
+
+    ordered = sorted(initial)
+
+    def cross_shard_scan(low, high):
+        # Shard order == key order under range partitioning, so the
+        # concatenation is the merged scan.
+        for handle in sdb.handles:
+            yield from reader_range_scan(
+                sdb, handle.tree_name, low, high, think_per_page=0.02
+            )
+
+    scheduler.spawn(
+        cross_shard_scan(ordered[0], ordered[-1]), name="scan-0", at=0.3
+    )
+    reads: dict[str, int] = {}
+    for index, key in enumerate((ordered[1], ordered[-2])):
+        handle = sdb.handles[sdb.router.shard_for(key)]
+        name = f"reader-{index}"
+        scheduler.spawn(
+            reader_search(sdb, handle.tree_name, key, think=0.05),
+            name=name, at=0.5 + 0.4 * index,
+        )
+        reads[name] = key
+    return World(
+        db=sdb,
+        scheduler=scheduler,
+        tree_name=sdb.handles[0].tree_name,
+        initial_keys=initial,
+        reads=reads,
+        expected_failures=_EXPECTED,
+    )
+
+
 def _build_deadlock_victim() -> World:
     """Minimal ABBA deadlock with the reorganizer on one side: every
     schedule that closes the cycle must pick the reorganizer as victim
@@ -307,6 +373,13 @@ SCENARIOS: dict[str, Scenario] = {
             description="canned workload: two overlapping range scans and "
             "an insert against pass-1 compaction",
             build=_build_scan_vs_pass1,
+        ),
+        Scenario(
+            name="shard-reorg-scan",
+            description="two shard reorganizers run full three-pass reorgs "
+            "in parallel against a cross-shard range scan and point readers",
+            build=_build_shard_reorg_scan,
+            invariants=("read-linearizability", "switch-safety"),
         ),
         Scenario(
             name="deadlock-victim",

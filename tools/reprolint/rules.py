@@ -518,6 +518,50 @@ class SuppressionReasonRule(Rule):
             )
 
 
+@register
+class ShardRouterOnlyRule(Rule):
+    """Shard isolation is structural: a :class:`ShardHandle` can only reach
+    its own tree because all tree access inside ``src/repro/shard/`` flows
+    through the handle (``handle.tree()`` / ``BPlusTree.attach`` on the
+    leased store).  Calling ``Database.tree()`` from shard internals would
+    hand a shard the *unsharded* primary tree — a cross-shard backdoor the
+    lease machinery cannot police."""
+
+    name = "shard-router-only"
+    description = (
+        "no direct Database.tree() access inside src/repro/shard/; go "
+        "through the ShardHandle (or the router on the facade)"
+    )
+    include = ("src/repro/shard/",)
+
+    #: Receiver spellings that denote the underlying Database (as opposed
+    #: to a ShardHandle, whose conventional names are handle/h/shard).
+    _DB_NAMES = {"db", "database", "_db", "base_db", "parent_db", "Database"}
+
+    def _is_database_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in self._DB_NAMES
+        if isinstance(node, ast.Attribute):
+            return node.attr in self._DB_NAMES
+        return False
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr != "tree":
+                continue
+            if self._is_database_expr(func.value):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "Database.tree() called from shard internals; shard "
+                    "code must reach trees through its ShardHandle so the "
+                    "extent-lease isolation holds",
+                )
+
+
 def _walk_in_function(node: ast.AST) -> Iterator[ast.AST]:
     """Walk a function's own body: lambdas are entered (they execute inline
     in the generator's step), nested ``def``/``class`` are not (they are
