@@ -122,7 +122,9 @@ def run_bulk_insert(n_records: int = 20_000) -> dict:
     }
 
 
-def _e2_setup(n_transactions: int = 250, seed: int = 11) -> ExperimentSetup:
+def _e2_setup(
+    n_transactions: int = 250, seed: int = 11, *, optimistic_reads: bool = False
+) -> ExperimentSetup:
     """The exact cell of benchmarks/test_bench_e2_concurrency_vs_smith.py."""
     return ExperimentSetup(
         tree_config=TreeConfig(
@@ -131,6 +133,7 @@ def _e2_setup(n_transactions: int = 250, seed: int = 11) -> ExperimentSetup:
             leaf_extent_pages=1024,
             internal_extent_pages=256,
             buffer_pool_pages=512,
+            optimistic_reads=optimistic_reads,
         ),
         reorg_config=ReorgConfig(target_fill=0.9),
         workload=WorkloadConfig(
@@ -164,6 +167,178 @@ def run_mixed_e2(n_transactions: int = 250) -> dict:
             "rx_backoffs": metrics.rx_backoffs,
             "makespan": round(metrics.makespan, 6),
             "record_count": db.tree().record_count(),
+        },
+    }
+
+
+def run_mixed_e2_optimistic(n_transactions: int = 250) -> dict:
+    """The mixed_e2 cell re-measured with ``optimistic_reads=True``.
+
+    Same planned workload and reorganizer; point reads and range scans go
+    through the latch-free version-validated protocol, downgrading to the
+    locked Table-1 path only when they observe an RX holder.  Checks carry
+    the lock-manager request count and the optimistic stats so the BENCH
+    file shows how much reader traffic left the lock manager.
+    """
+    from repro.btree.protocols import OPTIMISTIC_STATS
+
+    OPTIMISTIC_STATS.reset()
+    t0 = time.perf_counter()
+    db, metrics = run_concurrent_experiment(
+        _e2_setup(n_transactions, optimistic_reads=True), reorganizer="paper"
+    )
+    wall = time.perf_counter() - t0
+    db.tree().validate()
+    return {
+        "wall_s": wall,
+        "checks": {
+            "completed": metrics.completed,
+            "aborted": metrics.aborted,
+            "blocked_txns": metrics.blocked_txns,
+            "total_blocks": metrics.total_blocks,
+            "rx_backoffs": metrics.rx_backoffs,
+            "makespan": round(metrics.makespan, 6),
+            "record_count": db.tree().record_count(),
+            "lock_requests": db.locks.stats.requests,
+            **{
+                f"optimistic_{k}": v
+                for k, v in OPTIMISTIC_STATS.snapshot().items()
+            },
+        },
+    }
+
+
+def _read_mostly_cell(
+    *, optimistic: bool, n_records: int, n_reads: int, n_scans: int
+) -> dict:
+    """One mode of the read-mostly cell: point reads and range scans race
+    a full three-pass reorganization on the DES.  The record set is
+    invariant under reorganization, so reader results and scan digests
+    must be identical whichever read protocol runs."""
+    from repro.btree.protocols import reader_range_scan, reader_search
+    from repro.sim.workload import build_sparse_tree
+
+    db = Database(
+        TreeConfig(
+            leaf_capacity=16,
+            internal_capacity=8,
+            leaf_extent_pages=1024,
+            internal_extent_pages=256,
+            buffer_pool_pages=512,
+            optimistic_reads=optimistic,
+        )
+    )
+    tree = build_sparse_tree(db, n_records=n_records, fill_after=0.45, seed=31)
+    db.flush()
+    db.checkpoint()
+    alive = sorted(record.key for record in tree.items())
+    scheduler = Scheduler(
+        db.locks, store=db.store, log=db.log, io_time=0.2, hit_time=0.01
+    )
+    protocol = ReorgProtocol(
+        db,
+        "primary",
+        ReorgConfig(target_fill=0.9),
+        unit_pause=0.05,
+        scan_pause=0.02,
+        op_duration=0.3,
+    )
+    protocol.abort_hook = lambda victims: [
+        scheduler.abort_transaction(v, "old-tree drain timeout")
+        for v in victims
+    ]
+    scheduler.spawn(
+        full_reorganization(protocol), name="reorganizer", is_reorganizer=True
+    )
+    rng = random.Random(97)
+    for index in range(n_reads):
+        key = alive[rng.randrange(len(alive))]
+        scheduler.spawn(
+            reader_search(db, "primary", key, think=0.02),
+            name=f"read-{index}",
+            at=rng.uniform(0.0, 60.0),
+        )
+    span = max(1, len(alive) // (n_scans + 1))
+    for index in range(n_scans):
+        low = alive[index * span]
+        high = alive[min(len(alive) - 1, index * span + span)]
+        scheduler.spawn(
+            reader_range_scan(db, "primary", low, high, think_per_page=0.01),
+            name=f"scan-{index:03d}",
+            at=rng.uniform(0.0, 60.0),
+        )
+    scheduler.run()
+    if scheduler.failed:
+        txn, error = scheduler.failed[0]
+        raise RuntimeError(f"{txn.name} failed: {error!r}") from error
+    found = 0
+    scans: list[tuple[str, list[Record]]] = []
+    for txn, result in scheduler.completed:
+        if txn.name.startswith("read-") and result is not None:
+            found += 1
+        elif txn.name.startswith("scan-"):
+            scans.append((txn.name, result))
+    digest = hashlib.sha256()
+    for _name, records in sorted(scans):
+        digest.update(_scan_digest(records).encode())
+    return {
+        "found": found,
+        "scan_digest": digest.hexdigest()[:16],
+        "lock_requests": db.locks.stats.requests,
+        "makespan": round(scheduler.now, 6),
+    }
+
+
+def run_read_mostly_e6(
+    n_records: int = 2_000, n_reads: int = 1_500, n_scans: int = 12
+) -> dict:
+    """Read-mostly workload, locked vs optimistic read path (ISSUE 6).
+
+    The same DES cell — seeded point reads and range scans racing a full
+    three-pass reorganization — runs twice: once on the historical locked
+    Table-1 protocol, once with ``optimistic_reads=True``.  Reader results
+    and scan digests must be byte-identical (the record set is invariant
+    under reorganization); the headline check is ``lock_reduction``, the
+    ratio of lock-manager requests, which must be >= 5x — optimistic
+    readers only reach the lock manager through the RX downgrade path.
+    """
+    from repro.btree.protocols import OPTIMISTIC_STATS
+
+    params = dict(n_records=n_records, n_reads=n_reads, n_scans=n_scans)
+    t0 = time.perf_counter()
+    locked = _read_mostly_cell(optimistic=False, **params)
+    OPTIMISTIC_STATS.reset()
+    optimistic = _read_mostly_cell(optimistic=True, **params)
+    stats = OPTIMISTIC_STATS.snapshot()
+    wall = time.perf_counter() - t0
+    if optimistic["scan_digest"] != locked["scan_digest"]:
+        raise AssertionError(
+            "optimistic scan results diverged from the locked path: "
+            f"{optimistic['scan_digest']} != {locked['scan_digest']}"
+        )
+    if optimistic["found"] != locked["found"]:
+        raise AssertionError(
+            "optimistic point reads diverged from the locked path: "
+            f"{optimistic['found']} != {locked['found']}"
+        )
+    reduction = locked["lock_requests"] / optimistic["lock_requests"]
+    if reduction < 5.0:
+        raise AssertionError(
+            f"lock-manager request reduction {reduction:.2f}x < 5x "
+            f"({locked['lock_requests']} locked vs "
+            f"{optimistic['lock_requests']} optimistic)"
+        )
+    return {
+        "wall_s": wall,
+        "checks": {
+            "reads_found": locked["found"],
+            "scan_digest": locked["scan_digest"],
+            "locked_lock_requests": locked["lock_requests"],
+            "optimistic_lock_requests": optimistic["lock_requests"],
+            "lock_reduction": round(reduction, 2),
+            "locked_makespan": locked["makespan"],
+            "optimistic_makespan": optimistic["makespan"],
+            **{f"optimistic_{k}": v for k, v in stats.items()},
         },
     }
 
@@ -449,6 +624,8 @@ def run_range_scan_e6_batched(n_records: int = 20_000) -> dict:
 WORKLOADS = {
     "bulk_insert": run_bulk_insert,
     "mixed_e2": run_mixed_e2,
+    "mixed_e2_optimistic": run_mixed_e2_optimistic,
+    "read_mostly_e6": run_read_mostly_e6,
     "reorg_20k": run_reorg_20k,
     "reorg_20k_batched": run_reorg_20k_batched,
     "range_scan_e6": run_range_scan_e6,
@@ -462,6 +639,8 @@ PROFILE_PARAMS: dict[str, dict[str, dict]] = {
     "small": {
         "bulk_insert": {"n_records": 2_000},
         "mixed_e2": {"n_transactions": 60},
+        "mixed_e2_optimistic": {"n_transactions": 60},
+        "read_mostly_e6": {"n_records": 800, "n_reads": 600, "n_scans": 4},
         "reorg_20k": {"n_records": 2_000},
         "reorg_20k_batched": {"n_records": 2_000},
         "range_scan_e6": {"n_records": 2_000},

@@ -84,6 +84,41 @@ SEED_CHECKS = {
         "read_cost": 8198.0,
         "batch_reads": 308,
     },
+    # Optimistic-read workloads (added with BENCH_4.json): latch-free
+    # version-validated descents and scans must change lock traffic, never
+    # results — the optimistic mixed cell completes the same transactions
+    # (its blocking structure differs because readers no longer queue), and
+    # the read-mostly cell's scan digest is shared between the locked and
+    # optimistic runs by construction (run_read_mostly_e6 raises on drift).
+    "mixed_e2_optimistic": {
+        "completed": 250,
+        "aborted": 0,
+        "blocked_txns": 2,
+        "total_blocks": 2,
+        "rx_backoffs": 1,
+        "makespan": 58.128459,
+        "record_count": 929,
+        "lock_requests": 1454,
+        "optimistic_searches": 147,
+        "optimistic_scans": 33,
+        "optimistic_restarts": 0,
+        "optimistic_downgrades": 1,
+        "optimistic_validations": 783,
+    },
+    "read_mostly_e6": {
+        "reads_found": 1500,
+        "scan_digest": "93a659b9c5d9b301",
+        "locked_lock_requests": 8572,
+        "optimistic_lock_requests": 979,
+        "lock_reduction": 8.76,
+        "locked_makespan": 60.024248,
+        "optimistic_makespan": 60.054248,
+        "optimistic_searches": 1500,
+        "optimistic_scans": 12,
+        "optimistic_restarts": 4,
+        "optimistic_downgrades": 9,
+        "optimistic_validations": 6131,
+    },
 }
 
 

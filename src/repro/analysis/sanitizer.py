@@ -18,6 +18,10 @@ When installed, the sanitizer patches four classes with shadow checks:
   compatible with nothing — conflicting requesters must forgo and back
   off, not touch the page), and a *dirty* page fetched by a transaction
   holding no lock on it while others do is recorded as a warning.
+  Pin/unpin pairs carry the optimistic read path's contract: a frame
+  whose page LSN advanced while pinned (it was mutated) must have had its
+  version stamp bumped before the unpin — otherwise lock-free readers
+  would validate stale reads as current.
 * :class:`~repro.storage.disk.SimulatedDisk` — ``write`` enforces the
   write-ahead rule end to end: a page image may not reach the disk while
   its ``page_lsn`` is beyond the log's ``flushed_lsn``.
@@ -74,6 +78,12 @@ class WALOrderViolation(SanitizerError):
 class VictimPolicyViolation(SanitizerError):
     """A deadlock was resolved against a non-reorganizer while a
     reorganizer was in the cycle."""
+
+
+class VersionStampViolation(SanitizerError):
+    """A mutated buffer frame was unpinned without its version stamp
+    having been bumped — the optimistic read path would validate stale
+    reads as current."""
 
 
 @dataclass(frozen=True)
@@ -142,6 +152,10 @@ _ORIGINALS: dict[tuple[type, str], Any] = {}
 
 #: SimulatedDisk -> the BufferPool in front of it (to reach its WAL hook).
 _POOL_OF_DISK: "weakref.WeakKeyDictionary[Any, Any]" = weakref.WeakKeyDictionary()
+
+#: BufferPool -> {page_id: (page_lsn, version) snapshot taken at pin time},
+#: for the version-stamp-before-unpin check.
+_PIN_SNAPSHOTS: "weakref.WeakKeyDictionary[Any, dict]" = weakref.WeakKeyDictionary()
 
 
 class _StepContext:
@@ -321,6 +335,48 @@ def _real_wal(pool: Any) -> Any | None:
     return wal if hasattr(wal, "last_lsn") else None
 
 
+def _snapshot_pin(pool: Any, page_id: Any) -> None:
+    """Record (page_lsn, version) at first pin; later pins keep the
+    original snapshot so nested pin/unpin pairs still compare against the
+    state the outermost pinner saw."""
+    frame = pool._frames.get(page_id)
+    if frame is None:
+        return
+    snaps = _PIN_SNAPSHOTS.setdefault(pool, {})
+    if page_id not in snaps:
+        snaps[page_id] = (frame.page.page_lsn, pool.version_of(page_id))
+
+
+def _check_unpin(san: Sanitizer, pool: Any, page_id: Any) -> None:
+    """The mutated-frame-unpinned-without-a-stamp-bump check.
+
+    Runs *before* the pin count drops: if the page LSN advanced while the
+    frame was pinned (it was mutated through the WAL funnel) but the
+    version stamp is unchanged, an optimistic reader that captured the
+    stamp before the mutation would validate its stale read as current.
+    """
+    snaps = _PIN_SNAPSHOTS.get(pool)
+    if not snaps or page_id not in snaps:
+        return
+    frame = pool._frames.get(page_id)
+    if frame is None:
+        del snaps[page_id]
+        return
+    san.checks["version-stamp"] += 1
+    snap_lsn, snap_ver = snaps[page_id]
+    if frame.page.page_lsn > snap_lsn and pool.version_of(page_id) == snap_ver:
+        san.violation(
+            "version-stamp",
+            f"page {page_id} unpinned after mutation (page LSN "
+            f"{snap_lsn} -> {frame.page.page_lsn}) without a version-stamp "
+            f"bump; optimistic readers would validate stale reads of it "
+            f"as current",
+            VersionStampViolation,
+        )
+    if frame.pins <= 1:
+        del snaps[page_id]
+
+
 def _patch_buffer_pool() -> None:
     from repro.locks.resources import page_lock
     from repro.storage.buffer import BufferPool
@@ -364,6 +420,8 @@ def _patch_buffer_pool() -> None:
         def wrapper(self: Any, page_id: Any, *, pin: bool = False) -> Any:
             page = original(self, page_id, pin=pin)
             san = _ACTIVE
+            if pin and not _skip(san):
+                _snapshot_pin(self, page_id)
             if _skip(san) or _CTX.lock_manager is None or _CTX.owner is None:
                 return page
             san.checks["fetch-coverage"] += 1
@@ -397,9 +455,38 @@ def _patch_buffer_pool() -> None:
 
         return wrapper
 
+    def wrap_put_new(original: Any) -> Any:
+        def wrapper(self: Any, page: Any, *, pin: bool = False) -> Any:
+            result = original(self, page, pin=pin)
+            if pin and not _skip(_ACTIVE):
+                _snapshot_pin(self, page.page_id)
+            return result
+
+        return wrapper
+
+    def wrap_pin(original: Any) -> Any:
+        def wrapper(self: Any, page_id: Any) -> None:
+            original(self, page_id)
+            if not _skip(_ACTIVE):
+                _snapshot_pin(self, page_id)
+
+        return wrapper
+
+    def wrap_unpin(original: Any) -> Any:
+        def wrapper(self: Any, page_id: Any) -> None:
+            san = _ACTIVE
+            if not _skip(san):
+                _check_unpin(san, self, page_id)
+            original(self, page_id)
+
+        return wrapper
+
     _patch(BufferPool, "__init__", wrap_init)
     _patch(BufferPool, "mark_dirty", wrap_mark_dirty)
     _patch(BufferPool, "fetch", wrap_fetch)
+    _patch(BufferPool, "put_new", wrap_put_new)
+    _patch(BufferPool, "pin", wrap_pin)
+    _patch(BufferPool, "unpin", wrap_unpin)
 
 
 def _patch_disk() -> None:
@@ -480,6 +567,7 @@ def uninstall() -> Sanitizer | None:
         setattr(cls, attr, original)
     _ORIGINALS.clear()
     _POOL_OF_DISK.clear()
+    _PIN_SNAPSHOTS.clear()
     _CTX.owner = _CTX.lock_manager = None
     _ACTIVE = None
     return san

@@ -92,6 +92,17 @@ class TreeConfig:
             level once per unit — the CPU-side analogue of the batched disk
             sweeps, and the main wall-clock lever of the batched-I/O
             configuration.  Only the synchronous pass drivers enable it.
+        optimistic_reads: route DES point reads and range scans through the
+            latch-free optimistic protocol (:mod:`repro.btree.protocols`):
+            readers descend without locks, validating the buffer pool's
+            per-page version stamps after every page visit and restarting
+            (bounded) on conflict.  A reader that observes an RX lock —
+            a reorganization pass working on that page — downgrades to the
+            Table-1 locked protocol via the single fallback helper, so the
+            paper's give-up / instant-RS semantics are preserved exactly
+            where readers and the reorganizer actually collide.  Updaters
+            and the reorganizer are unaffected.  Off, the read path is
+            byte-identical to the historical locked protocol.
     """
 
     leaf_capacity: int = 32
@@ -109,6 +120,7 @@ class TreeConfig:
     readahead_pages: int = 0
     seek_aware_pass2: bool = False
     reorg_chain_cache: bool = False
+    optimistic_reads: bool = False
 
     def __post_init__(self) -> None:
         if self.leaf_capacity < 2:

@@ -14,6 +14,12 @@ reconstruct the exact residue.
 
 The entry list is shared with :class:`repro.db.Pass3State` so checkpoints
 capture it automatically.
+
+Version-stamp coverage (optimistic read path): the side file itself is a
+memory-resident table, invisible to readers; what matters is that applying
+an entry to the new tree mutates base pages through log-apply ->
+``BufferPool.mark_dirty``, which bumps their version stamps, so lock-free
+readers racing the final catch-up of the switch validate correctly.
 """
 
 from __future__ import annotations

@@ -15,6 +15,11 @@ target slot (the i-th leaf belongs at the i-th page of the leaf extent):
 
 Benchmark E1 counts the swaps this pass needs under each pass-1 empty-page
 policy.
+
+Version-stamp coverage (optimistic read path): every move and swap funnels
+through log-apply -> ``BufferPool.mark_dirty`` for *both* pages of the
+unit, so a lock-free reader that validated either page before the unit
+restarts afterwards; no extra bumping is needed here.
 """
 
 from __future__ import annotations

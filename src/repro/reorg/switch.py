@@ -111,6 +111,13 @@ class Switcher:
             self.db.log.flush()
             _bump_lock_name(self.db, self.tree.name)
             self.tree.set_root(stats.new_root)
+            # Invalidate in-flight optimistic descents anchored at the old
+            # root: bump its version stamp so their next validation fails
+            # and they restart against the new access path.  (An internal
+            # old root is bumped again by the discard below; a *leaf* old
+            # root is shared with the new tree and would otherwise never
+            # change, leaving lock-free readers pinned to the old route.)
+            self.db.store.buffer.bump_version(stats.old_root)
             self.db.store.disk.del_meta(f"root:{self.tree.name}.new")
             # 4. Drain old-tree transactions by X-locking the old lock name.
             #    (Synchronous callers hold no tree locks, so this grants at
@@ -145,6 +152,8 @@ class Switcher:
             if self.tree.root_id == old_root:
                 _bump_lock_name(self.db, self.tree.name)
                 self.tree.set_root(new_root)
+                # Same optimistic-reader invalidation as the normal switch.
+                self.db.store.buffer.bump_version(old_root)
             self.db.store.disk.del_meta(f"root:{self.tree.name}.new")
             locks.request(self.reorg_txn, tree_lock(old_lock_name), LockMode.X)
             stats.old_internal_freed = self._discard_internals_under(old_root)

@@ -169,13 +169,24 @@ class ShardedDatabase:
 
     def range_scan(self, low: int, high: int) -> list[Record]:
         """Merged cross-shard scan: per-shard scans concatenate in shard
-        order (range partitioning keeps them disjoint and sorted)."""
+        order (range partitioning keeps them disjoint and sorted).
+
+        The shard-boundary check is hoisted out of the per-leaf work: each
+        shard's scan bounds are clamped *once* against the router's
+        partition bounds, so routing costs O(#shards) probes per scan —
+        never one per leaf step — and a fully covered middle shard scans
+        under its own tighter bounds instead of the global ones.
+        """
         if self.router is None:
             raise RuntimeError("no router yet: bulk_load or set_separators first")
+        router = self.router
         out: list[Record] = []
-        for index in self.router.shards_for_range(low, high):
+        for index in router.shards_for_range(low, high):
             handle = self.handles[index]
-            part = handle.tree().range_scan(low, high)
+            shard_low, shard_high = router.key_range_of(index)
+            lo = low if shard_low is None else max(low, shard_low)
+            hi = high if shard_high is None else min(high, shard_high - 1)
+            part = handle.tree().range_scan(lo, hi)
             handle.stats.scan_fragments += 1
             handle.stats.scan_records += len(part)
             out.extend(part)

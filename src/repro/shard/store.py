@@ -39,8 +39,11 @@ class ShardStore:
         self.buffer = base.buffer
         self.leaf_lease = leaf_lease
         self.internal_lease = internal_lease
-        # Same hot-path shadowing as StorageManager: reads are unrestricted.
+        # Same hot-path shadowing as StorageManager: reads are unrestricted,
+        # and version stamps live on the one shared buffer pool, so
+        # optimistic readers validate identically through either facade.
         self.get = base.buffer.fetch
+        self.version_of = base.buffer.version_of
 
     # -- allocation (lease-constrained) --------------------------------------
 

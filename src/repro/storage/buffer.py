@@ -126,6 +126,15 @@ class BufferPool:
         self.contains = self._frames.__contains__
         self._frames_get = self._frames.get
         self._frames_move_to_end = self._frames.move_to_end
+        #: Per-page version stamps for the optimistic read path.  Bumped on
+        #: every mutation funnel — `mark_dirty` (all log-applied changes:
+        #: insert, split, swap, side-file apply), `put_new` (allocation) and
+        #: `drop` (deallocation, including the pass-3 switch discarding the
+        #: old internal levels).  Entries survive `drop` on purpose: keeping
+        #: the stamp monotonic across free/realloc defeats ABA, where a
+        #: reader validates against a *new* page that reused the id.
+        self._versions: dict[PageId, int] = {}
+        self._versions_get = self._versions.get
         #: source page id -> set of destination page ids that must be
         #: durable before the source may be written or deallocated.
         self._write_before: dict[PageId, set[PageId]] = {}
@@ -189,6 +198,7 @@ class BufferPool:
             raise BufferPoolError(f"page {page.page_id} already buffered")
         frame = self._admit(page)
         frame.dirty = True
+        self._versions[page.page_id] = self._versions_get(page.page_id, 0) + 1
         if pin:
             frame.pins += 1
         return frame.page
@@ -248,8 +258,27 @@ class BufferPool:
         if frame is None:
             raise BufferPoolError(f"page {page_id} is not buffered")
         frame.dirty = True
+        self._versions[page_id] = self._versions_get(page_id, 0) + 1
         if lsn is not None:
             frame.page.page_lsn = lsn
+
+    def version_of(self, page_id: PageId) -> int:
+        """Current version stamp of a page (0 if never mutated).
+
+        Valid for resident and non-resident pages alike: stamps track
+        logical mutations, not residency, so an optimistic reader can
+        capture a stamp, pay the simulated fetch delay, and re-validate
+        even if the frame was evicted in between.
+        """
+        return self._versions_get(page_id, 0)
+
+    def bump_version(self, page_id: PageId) -> None:
+        """Invalidate optimistic readers of ``page_id`` without a content
+        mutation.  The pass-3 switch uses this on the old root after the
+        flip so in-flight lock-free descents anchored there restart and
+        pick up the new access path instead of lingering on the old tree.
+        """
+        self._versions[page_id] = self._versions_get(page_id, 0) + 1
 
     def is_dirty(self, page_id: PageId) -> bool:
         return self._require_frame(page_id).dirty
@@ -393,6 +422,10 @@ class BufferPool:
             del self._frames[page_id]
             if page_id == self._mru_id:
                 self._mru_id = None
+        # Deallocation is a mutation from a reader's point of view: any
+        # optimistic validation spanning it must fail (and the bumped-not-
+        # deleted entry makes a later reallocation of this id visible too).
+        self._versions[page_id] = self._versions_get(page_id, 0) + 1
 
     # -- crash simulation ----------------------------------------------------------
 

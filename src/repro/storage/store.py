@@ -50,6 +50,9 @@ class StorageManager:
         # holding an unbound reference.
         self.get = self.buffer.fetch
         self.mark_dirty = self.buffer.mark_dirty
+        # Same discipline for the optimistic read path: `version_of` runs
+        # twice per lock-free page visit (capture + validate).
+        self.version_of = self.buffer.version_of
 
     # -- wiring ---------------------------------------------------------------
 
@@ -97,6 +100,10 @@ class StorageManager:
 
     def mark_dirty(self, page_id: PageId, lsn: int | None = None) -> None:
         self.buffer.mark_dirty(page_id, lsn)
+
+    def version_of(self, page_id: PageId) -> int:
+        """Version stamp of a page (see :meth:`BufferPool.version_of`)."""
+        return self.buffer.version_of(page_id)
 
     def prefetch(self, page_ids) -> int:
         """Readahead: batch-admit upcoming pages, gated on the config flag.

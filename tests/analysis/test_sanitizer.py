@@ -9,6 +9,7 @@ import pytest
 from repro.analysis import sanitizer
 from repro.analysis.sanitizer import (
     LockTableViolation,
+    VersionStampViolation,
     VictimPolicyViolation,
     WALOrderViolation,
 )
@@ -203,6 +204,68 @@ class TestFetchCoverage:
             ctx.owner = ctx.lock_manager = None
         assert san.new_warnings("rx-foreign-fetch")
         assert san.new_violations("rx-foreign-fetch") == []
+
+
+# -- version stamps ------------------------------------------------------------
+
+
+def _seed_stamp_skip_bug(buffer, page_id):
+    """Mutate a frame the way a buggy ``mark_dirty`` would: dirty it and
+    advance its page LSN, but 'forget' the version-stamp bump the
+    optimistic read path depends on."""
+    frame = buffer._frames[page_id]
+    frame.dirty = True
+    frame.page.page_lsn += 1
+
+
+class TestVersionStamps:
+    def test_proper_mutation_under_pin_is_quiet(self, san, db):
+        buffer = db.store.buffer
+        page_id = next(iter(buffer._frames))
+        buffer.pin(page_id)
+        buffer.mark_dirty(page_id, db.log.last_lsn)
+        buffer.unpin(page_id)
+        assert san.checks["version-stamp"] > 0
+        assert san.new_violations("version-stamp") == []
+
+    def test_seeded_stamp_skip_is_caught(self, san, db):
+        buffer = db.store.buffer
+        page_id = next(iter(buffer._frames))
+        buffer.pin(page_id)
+        _seed_stamp_skip_bug(buffer, page_id)
+        with pytest.raises(VersionStampViolation, match="version-stamp bump"):
+            buffer.unpin(page_id)
+
+    def test_fetch_pin_path_snapshots_too(self, san, db):
+        buffer = db.store.buffer
+        page_id = next(iter(buffer._frames))
+        buffer.fetch(page_id, pin=True)
+        _seed_stamp_skip_bug(buffer, page_id)
+        with pytest.raises(VersionStampViolation, match="version-stamp bump"):
+            buffer.unpin(page_id)
+
+    def test_nested_pins_keep_first_snapshot_and_bump_recovers(self, san, db):
+        buffer = db.store.buffer
+        page_id = next(iter(buffer._frames))
+        buffer.pin(page_id)
+        buffer.pin(page_id)
+        _seed_stamp_skip_bug(buffer, page_id)
+        with pytest.raises(VersionStampViolation, match="version-stamp bump"):
+            buffer.unpin(page_id)
+        # Bumping the stamp (what the fix would do) clears the condition;
+        # both outstanding unpins then validate and release cleanly.
+        buffer.bump_version(page_id)
+        buffer.unpin(page_id)
+        buffer.unpin(page_id)
+        assert len(san.new_violations("version-stamp")) == 1
+
+    def test_unmutated_pin_unpin_is_quiet(self, san, db):
+        buffer = db.store.buffer
+        page_id = next(iter(buffer._frames))
+        before = len(san.new_violations("version-stamp"))
+        buffer.pin(page_id)
+        buffer.unpin(page_id)
+        assert len(san.new_violations("version-stamp")) == before
 
 
 # -- lifecycle -----------------------------------------------------------------

@@ -1,0 +1,189 @@
+"""Tests for the latch-free optimistic read path (docs/optimistic_reads.md).
+
+Single-schedule behaviour only — dispatch, lock-free execution, restart on
+a version-stamp mismatch, RX downgrade, and the buffer-pool version
+funnel.  Cross-schedule correctness is the model checker's job
+(`optimistic-reader-vs-reorg` in tools/reprocheck), and the BENCH layer
+pins the lock-traffic and digest-identity numbers.
+"""
+
+import pytest
+
+from repro.btree.protocols import (
+    OPTIMISTIC_STATS,
+    reader_range_scan,
+    reader_search,
+)
+from repro.config import TreeConfig
+from repro.db import Database
+from repro.locks.modes import LockMode
+from repro.locks.resources import page_lock
+from repro.storage.page import LeafPage, Record
+from repro.txn.ops import Acquire, ReleaseAll, Think
+from repro.txn.scheduler import Scheduler
+
+
+def make_db(n=200, leaf_capacity=8, *, optimistic=True):
+    db = Database(
+        TreeConfig(
+            leaf_capacity=leaf_capacity,
+            internal_capacity=6,
+            leaf_extent_pages=256,
+            internal_extent_pages=128,
+            buffer_pool_pages=64,
+            optimistic_reads=optimistic,
+        )
+    )
+    db.bulk_load_tree([Record(k, f"v{k}") for k in range(n)], leaf_fill=1.0)
+    return db
+
+
+def make_scheduler(db):
+    return Scheduler(db.locks, store=db.store, log=db.log, io_time=0.1, hit_time=0.01)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_stats():
+    OPTIMISTIC_STATS.reset()
+    yield
+    OPTIMISTIC_STATS.reset()
+
+
+class TestDispatch:
+    def test_flag_off_runs_the_locked_protocol(self):
+        db = make_db(optimistic=False)
+        sched = make_scheduler(db)
+        sched.spawn(reader_search(db, "primary", 42))
+        sched.run()
+        assert sched.completed[0][1].payload == "v42"
+        assert db.locks.stats.requests > 0
+        assert OPTIMISTIC_STATS.searches == 0
+
+    def test_flag_on_point_read_takes_no_locks(self):
+        db = make_db()
+        before = db.locks.stats.requests
+        sched = make_scheduler(db)
+        txn = sched.spawn(reader_search(db, "primary", 42))
+        sched.run()
+        assert sched.completed[0][1].payload == "v42"
+        assert db.locks.stats.requests == before
+        assert db.locks.owned_resources(txn) == []
+        assert OPTIMISTIC_STATS.searches == 1
+        assert OPTIMISTIC_STATS.validations > 0
+
+    def test_missing_key_returns_none_without_locks(self):
+        db = make_db()
+        before = db.locks.stats.requests
+        sched = make_scheduler(db)
+        sched.spawn(reader_search(db, "primary", 100_000))
+        sched.run()
+        assert sched.completed[0][1] is None
+        assert db.locks.stats.requests == before
+
+    def test_range_scan_matches_tree_scan_without_locks(self):
+        db = make_db()
+        before = db.locks.stats.requests
+        sched = make_scheduler(db)
+        sched.spawn(reader_range_scan(db, "primary", 10, 40))
+        sched.run()
+        assert [r.key for r in sched.completed[0][1]] == list(range(10, 41))
+        assert db.locks.stats.requests == before
+        assert OPTIMISTIC_STATS.scans == 1
+
+
+class TestConflicts:
+    def test_mutation_under_think_restarts_and_reads_fresh_state(self):
+        """A writer dirties the reader's leaf during its think pause; the
+        post-pause validation must fail, and the restarted descent must
+        return the currently-correct answer."""
+        from repro.btree.protocols import updater_delete
+
+        db = make_db()
+        tree = db.tree()
+        target_leaf = tree.path_to_leaf(5)[-1]
+        before = db.store.version_of(target_leaf)
+        sched = make_scheduler(db)
+        reader = sched.spawn(reader_search(db, "primary", 5, think=2.0))
+        # Key 6 shares the reader's leaf; deleting it mid-think dirties
+        # that leaf, so the reader's post-pause validation must fail.
+        sched.spawn(updater_delete(db, "primary", 6), at=0.5)
+        sched.run()
+        assert next(r for t, r in sched.completed if t is reader).key == 5
+        assert db.store.version_of(target_leaf) > before
+        assert OPTIMISTIC_STATS.restarts >= 1
+
+    def test_rx_holder_forces_downgrade_to_locked_protocol(self):
+        """An optimistic reader that meets a held RX must abandon the
+        lock-free attempt: the Table-1 back-off then plays out exactly as
+        for a locked reader (instant RS, wait for the unit to finish)."""
+        db = make_db()
+        tree = db.tree()
+        leaf = tree.path_to_leaf(0)[-1]
+        base = tree.path_to_leaf(0)[-2]
+        sched = make_scheduler(db)
+
+        def fake_reorganizer():
+            yield Acquire(page_lock(base), LockMode.R)
+            yield Acquire(page_lock(leaf), LockMode.RX)
+            yield Think(5.0)
+            yield ReleaseAll()
+
+        sched.spawn(fake_reorganizer(), name="reorg", is_reorganizer=True)
+        reader = sched.spawn(reader_search(db, "primary", 0), at=1.0)
+        sched.run()
+        assert next(r for t, r in sched.completed if t is reader).key == 0
+        assert OPTIMISTIC_STATS.downgrades == 1
+        assert reader.metrics.rx_backoffs >= 1
+        assert reader.metrics.end_time >= 5.0
+
+    def test_scan_downgrades_when_chain_walk_meets_rx(self):
+        db = make_db()
+        tree = db.tree()
+        mid_leaf = tree.path_to_leaf(100)[-1]
+        base = tree.path_to_leaf(100)[-2]
+        sched = make_scheduler(db)
+
+        def fake_reorganizer():
+            yield Acquire(page_lock(base), LockMode.R)
+            yield Acquire(page_lock(mid_leaf), LockMode.RX)
+            yield Think(5.0)
+            yield ReleaseAll()
+
+        sched.spawn(fake_reorganizer(), name="reorg", is_reorganizer=True)
+        scan = sched.spawn(reader_range_scan(db, "primary", 50, 150), at=1.0)
+        sched.run()
+        result = next(r for t, r in sched.completed if t is scan)
+        assert [r.key for r in result] == list(range(50, 151))
+        assert OPTIMISTIC_STATS.downgrades == 1
+
+
+class TestVersionFunnel:
+    def test_logged_mutation_bumps_the_leaf_stamp(self):
+        db = make_db()
+        tree = db.tree()
+        leaf = tree.path_to_leaf(5)[-1]
+        before = db.store.version_of(leaf)
+        tree.delete(5)
+        assert db.store.version_of(leaf) > before
+
+    def test_drop_bumps_and_keeps_the_stamp_against_aba(self):
+        """Free + re-allocate of the same page id must never return the
+        stamp an optimistic reader captured before the free."""
+        db = make_db()
+        buffer = db.store.buffer
+        page = LeafPage(9_999, 8)
+        buffer.put_new(page)
+        captured = buffer.version_of(9_999)
+        assert captured > 0
+        buffer.drop(9_999)
+        after_drop = buffer.version_of(9_999)
+        assert after_drop > captured
+        buffer.put_new(LeafPage(9_999, 8))
+        assert buffer.version_of(9_999) > after_drop
+
+    def test_explicit_bump_invalidates_without_content_change(self):
+        db = make_db()
+        root = db.tree().root_id
+        before = db.store.version_of(root)
+        db.store.buffer.bump_version(root)
+        assert db.store.version_of(root) == before + 1

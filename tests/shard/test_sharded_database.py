@@ -82,6 +82,34 @@ class TestRoutingAndScans:
         with pytest.raises(ValueError, match="separators"):
             sdb.bulk_load([Record(1, "x")] * 40)
 
+    def test_scan_routes_per_shard_not_per_leaf(self, monkeypatch):
+        """Regression: the merged scan must probe the router O(#shards)
+        times per scan — the shard boundary check is hoisted out of the
+        per-leaf walk — and the clamped per-shard bounds must not change
+        the result."""
+        from repro.shard.router import ShardRouter
+
+        sdb, alive = load_sharded(4)
+        probes: list[int] = []
+        original = ShardRouter.shard_for
+
+        def counting(self, key):
+            probes.append(key)
+            return original(self, key)
+
+        monkeypatch.setattr(ShardRouter, "shard_for", counting)
+        merged = [(r.key, r.payload) for r in sdb.range_scan(0, 1199)]
+        assert merged == [(k, f"v{k}") for k in alive]
+        # shards_for_range probes the endpoints once each; nothing else in
+        # the scan may touch the router, however many leaves are walked.
+        assert len(probes) == 2
+        probes.clear()
+        sep = sdb.router.separators[1]
+        lo, hi = sep - 50, sep + 50
+        part = [(r.key, r.payload) for r in sdb.range_scan(lo, hi)]
+        assert part == [(k, f"v{k}") for k in alive if lo <= k <= hi]
+        assert len(probes) == 2
+
 
 class TestOneShardIdentity:
     def test_layout_byte_identical_to_unsharded(self):

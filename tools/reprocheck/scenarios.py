@@ -311,6 +311,60 @@ def _build_shard_reorg_scan() -> World:
     )
 
 
+# -- optimistic-reader-vs-reorg -----------------------------------------------------
+
+
+def _build_optimistic_reader_vs_reorg() -> World:
+    """Optimistic (latch-free) readers race a full three-pass
+    reorganization: version-validated point descents and a leaf-chain scan
+    run against pass-1 group moves and the pass-3 switch.  Readers that
+    observe an RX holder downgrade to the Table-1 locked protocol; the
+    rest never touch the lock manager, so read-linearizability here checks
+    that version-stamp validation alone keeps their results admissible,
+    and switch-safety that the root bump re-anchors in-flight descents.
+    Restricted to those two invariants: the structure / side-file
+    invariants assume locked readers' quiescent states."""
+    config = TreeConfig(
+        leaf_capacity=4,
+        internal_capacity=4,
+        leaf_extent_pages=64,
+        internal_extent_pages=32,
+        buffer_pool_pages=16,
+        optimistic_reads=True,
+    )
+    db = Database(config)
+    build_sparse_tree(db, n_records=24, fill_after=0.45, seed=17)
+    db.flush()
+    db.checkpoint()
+    initial = frozenset(record.key for record in db.tree().items())
+    scheduler = _scheduler(db)
+    protocol = ReorgProtocol(
+        db, "primary",
+        ReorgConfig(do_swap_pass=False, stable_point_interval=3),
+        op_duration=0.3, unit_pause=0.05,
+    )
+    scheduler.spawn(
+        full_reorganization(protocol), name="reorganizer", is_reorganizer=True
+    )
+    keys = sorted(initial)
+    reads: dict[str, int] = {}
+    for index, key in enumerate((keys[1], keys[len(keys) // 2], keys[-2])):
+        name = f"reader-{index}"
+        scheduler.spawn(
+            reader_search(db, "primary", key, think=0.05),
+            name=name, at=0.3 + 0.4 * index,
+        )
+        reads[name] = key
+    scheduler.spawn(
+        reader_range_scan(db, "primary", keys[0], keys[-1], think_per_page=0.02),
+        name="scan-0", at=0.5,
+    )
+    return World(
+        db=db, scheduler=scheduler, initial_keys=initial, reads=reads,
+        expected_failures=_EXPECTED,
+    )
+
+
 def _build_deadlock_victim() -> World:
     """Minimal ABBA deadlock with the reorganizer on one side: every
     schedule that closes the cycle must pick the reorganizer as victim
@@ -379,6 +433,14 @@ SCENARIOS: dict[str, Scenario] = {
             description="two shard reorganizers run full three-pass reorgs "
             "in parallel against a cross-shard range scan and point readers",
             build=_build_shard_reorg_scan,
+            invariants=("read-linearizability", "switch-safety"),
+        ),
+        Scenario(
+            name="optimistic-reader-vs-reorg",
+            description="latch-free version-validated readers and a scan "
+            "race a full three-pass reorganization (RX downgrade, restart "
+            "on stamp mismatch, root bump at the switch)",
+            build=_build_optimistic_reader_vs_reorg,
             invariants=("read-linearizability", "switch-safety"),
         ),
         Scenario(
