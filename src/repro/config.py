@@ -103,6 +103,11 @@ class TreeConfig:
             where readers and the reorganizer actually collide.  Updaters
             and the reorganizer are unaffected.  Off, the read path is
             byte-identical to the historical locked protocol.
+        race_detector: install the hybrid lockset + happens-before data-race
+            detector (:mod:`repro.analysis.racedetect`) when the database is
+            built.  Non-strict: races are recorded on the active detector's
+            ``reports``, not raised.  Like the sanitizer, patches are
+            class-level and the off path is byte-identical.
     """
 
     leaf_capacity: int = 32
@@ -121,6 +126,7 @@ class TreeConfig:
     seek_aware_pass2: bool = False
     reorg_chain_cache: bool = False
     optimistic_reads: bool = False
+    race_detector: bool = False
 
     def __post_init__(self) -> None:
         if self.leaf_capacity < 2:

@@ -56,6 +56,13 @@ class Database:
             from repro.analysis.sanitizer import install
 
             install()
+        if self.config.race_detector:
+            # Must also precede the store build: the optimistic-window
+            # hook wraps the instance-bound version_of shortcut that
+            # StorageManager.__init__ creates.
+            from repro.analysis.racedetect import install as install_race
+
+            install_race()
         self.store = StorageManager(self.config)
         self.log = LogManager(
             group_commit_window=self.config.group_commit_window

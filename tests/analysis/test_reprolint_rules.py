@@ -772,6 +772,128 @@ class TestEngine:
             assert str(finding).startswith("src/repro/btree/seeded.py:")
 
 
+# -- stale-suppression --------------------------------------------------------
+
+
+class TestStaleSuppression:
+    def test_stale_line_suppression_is_flagged(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def tidy():
+                return 1  # reprolint: disable=bare-except -- left over
+            """,
+        )
+        assert rule_names(found) == {"stale-suppression"}
+        assert "bare-except" in found[0].message
+        assert found[0].line == 3
+
+    def test_live_line_suppression_stays_quiet(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def swallow(fn):
+                try:
+                    fn()
+                except:  # reprolint: disable=bare-except -- must survive
+                    pass
+            """,
+        )
+        assert found == []
+
+    def test_half_stale_directive_names_only_the_dead_rule(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def swallow(fn):
+                try:
+                    fn()
+                except:  # reprolint: disable=bare-except,buffer-bypass -- one lives
+                    pass
+            """,
+        )
+        assert rule_names(found) == {"stale-suppression"}
+        assert "buffer-bypass" in found[0].message
+        assert "bare-except" not in found[0].message
+
+    def test_stale_bare_disable_mentions_any_rule(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def tidy():
+                return 1  # reprolint: disable -- blanket silence
+            """,
+        )
+        assert rule_names(found) == {"stale-suppression"}
+        assert "any rule" in found[0].message
+
+    def test_stale_file_wide_suppression_points_at_the_directive(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            # reprolint: disable-file=bare-except -- corpus file, allegedly
+            def tidy():
+                return 1
+            """,
+        )
+        assert rule_names(found) == {"stale-suppression"}
+        assert found[0].line == 2
+        assert "file-wide" in found[0].message
+
+    def test_live_file_wide_suppression_stays_quiet(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            # reprolint: disable-file=bare-except -- seeded corpus file
+            def swallow(fn):
+                try:
+                    fn()
+                except:
+                    pass
+            """,
+        )
+        assert found == []
+
+    def test_partial_rule_runs_never_judge_staleness(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def tidy():
+                return 1  # reprolint: disable=bare-except -- left over
+            """,
+            "bare-except",
+        )
+        assert found == [], (
+            "a deselected rule not firing is not evidence of staleness"
+        )
+
+    def test_held_across_escape_is_never_stale(self):
+        found = findings_for(
+            "src/repro/wal/seeded.py",
+            """
+            def pass1_start(self):
+                yield Acquire(("page", 1), LockMode.RX)  # reprolint: held-across -- released by pass 3
+            """,
+        )
+        assert found == [], (
+            "held-across is consumed inside lock-release-pairing; the "
+            "engine cannot observe its use and must not flag it"
+        )
+
+    def test_stale_finding_is_itself_suppressible(self):
+        found = findings_for(
+            "src/repro/btree/seeded.py",
+            """
+            def tidy():
+                return 1  # reprolint: disable=bare-except,stale-suppression -- kept for a pending revert
+            """,
+        )
+        assert found == []
+
+    def test_stale_suppression_is_in_the_catalogue(self):
+        assert "stale-suppression" in {rule.name for rule in all_rules()}
+
+
 # -- CLI ----------------------------------------------------------------------
 
 

@@ -51,6 +51,31 @@ def _runtime_sanitizer():
         uninstall()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _runtime_race_detector(_runtime_sanitizer):
+    """Wrap the whole suite in the data-race detector when
+    ``REPRO_RACE=1`` (the CI ``race`` job runs tier-1 this way).
+
+    Depends on ``_runtime_sanitizer`` so the two patch layers nest LIFO:
+    sanitizer installs first and uninstalls last, otherwise each would
+    capture the other's wrappers as "originals".  Non-strict because
+    tier-1 deliberately runs seeded-protocol-bug scenarios; dedicated
+    tests assert on report presence/absence instead.
+    """
+    import os
+
+    if os.environ.get("REPRO_RACE") != "1":
+        yield
+        return
+    from repro.analysis.racedetect import install, uninstall
+
+    install(strict=False)
+    try:
+        yield
+    finally:
+        uninstall()
+
+
 @pytest.fixture
 def env():
     return make_env()

@@ -1,0 +1,145 @@
+"""``LockManager.rx_is_held`` edge cases — the PR 6 probe contract.
+
+The optimistic read path probes RX before every lock-free page visit.
+The contract: the probe reflects *granted* RX locks only (a queued RX
+request or an instant-RS interaction must not flip it), and it is never
+itself a lock-manager request — no ``stats`` movement, under both the
+locked and the optimistic read dispatch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.btree.protocols import reader_search
+from repro.config import TreeConfig
+from repro.db import Database
+from repro.errors import RXConflictError
+from repro.locks.manager import LockManager, RequestState
+from repro.locks.modes import LockMode
+from repro.locks.resources import page_lock
+from repro.storage.page import Record
+from repro.txn.scheduler import Scheduler
+
+
+def _stats_snapshot(lm: LockManager) -> dict:
+    return dataclasses.asdict(lm.stats)
+
+
+def test_probe_on_untouched_resource_is_false_and_free():
+    lm = LockManager()
+    before = _stats_snapshot(lm)
+    assert lm.rx_is_held(page_lock(1)) is False
+    assert _stats_snapshot(lm) == before, "the probe is not a request"
+
+
+def test_probe_tracks_grant_and_release():
+    lm = LockManager()
+    res = page_lock(2)
+    request = lm.request("reorg", res, LockMode.RX)
+    assert request.state is RequestState.GRANTED
+    assert lm.rx_is_held(res) is True
+    lm.release("reorg", res, LockMode.RX)
+    assert lm.rx_is_held(res) is False
+
+
+def test_queued_rx_request_does_not_flip_the_probe():
+    """An RX request waiting behind an S holder is not *held* RX: the
+    probe stays False until the grant, and probing is stats-neutral."""
+    lm = LockManager()
+    res = page_lock(3)
+    lm.request("reader", res, LockMode.S)
+    rx = lm.request("reorg", res, LockMode.RX)
+    assert rx.state is RequestState.WAITING
+    before = _stats_snapshot(lm)
+    for _ in range(3):
+        assert lm.rx_is_held(res) is False
+    assert _stats_snapshot(lm) == before
+    # The S release grants the queued RX; only now does the probe flip.
+    lm.release("reader", res, LockMode.S)
+    assert rx.state is RequestState.GRANTED
+    assert lm.rx_is_held(res) is True
+
+
+def test_instant_rs_leaves_no_holder_for_the_probe():
+    """INSTANT_DONE RS never creates holder state — the paper's 'never
+    actually granted' — so the probe cannot observe it."""
+    lm = LockManager()
+    res = page_lock(4)
+    rs = lm.request("reader", res, LockMode.RS, instant=True)
+    assert rs.state is RequestState.INSTANT_DONE
+    before = _stats_snapshot(lm)
+    assert lm.rx_is_held(res) is False
+    assert _stats_snapshot(lm) == before
+
+
+def test_instant_rs_conversion_against_held_rx():
+    """The give-up path: a reader that hits RX converts its access into an
+    instant-RS request on the base page.  The probe sees the RX the whole
+    time, and probing neither counts as a request nor as an RX rejection —
+    only the real RS request moves stats."""
+    lm = LockManager()
+    leaf, base = page_lock(5), page_lock(6)
+    lm.request("reorg", leaf, LockMode.RX)
+    lm.request("reorg", base, LockMode.R)
+    assert lm.rx_is_held(leaf) is True
+    assert lm.rx_is_held(base) is False
+
+    before = _stats_snapshot(lm)
+    for _ in range(4):
+        lm.rx_is_held(leaf)
+        lm.rx_is_held(base)
+    assert _stats_snapshot(lm) == before
+
+    # RS is incompatible with the held R: the instant request waits.
+    rs = lm.request("reader", base, LockMode.RS, instant=True)
+    assert rs.state is RequestState.WAITING
+    after = _stats_snapshot(lm)
+    assert after["requests"] == before["requests"] + 1, (
+        "exactly the RS request — probes contributed nothing"
+    )
+    assert lm.rx_is_held(base) is False, "a waiting RS never shows as RX"
+
+    # Direct S on the RX-held leaf is the forgo signal; still no probe cost.
+    with pytest.raises(RXConflictError):
+        lm.request("reader", leaf, LockMode.S)
+    assert lm.rx_is_held(leaf) is True
+
+
+def _reader_world(*, optimistic: bool) -> tuple[Database, Scheduler]:
+    db = Database(
+        TreeConfig(
+            leaf_capacity=4,
+            internal_capacity=4,
+            leaf_extent_pages=64,
+            internal_extent_pages=32,
+            buffer_pool_pages=64,
+            optimistic_reads=optimistic,
+        )
+    )
+    db.bulk_load_tree([Record(k, f"v{k}") for k in range(0, 30, 2)], leaf_fill=0.5)
+    db.flush()
+    scheduler = Scheduler(
+        db.locks, store=db.store, log=db.log, io_time=1.0, hit_time=0.05
+    )
+    return db, scheduler
+
+
+def test_probe_is_not_a_request_under_optimistic_dispatch():
+    db, scheduler = _reader_world(optimistic=True)
+    scheduler.spawn(reader_search(db, "primary", 10, think=0.05), name="r")
+    scheduler.run()
+    assert not scheduler.failed
+    assert db.locks.stats.requests == 0, (
+        "a lock-free read generates probe traffic only"
+    )
+
+
+def test_locked_dispatch_still_pays_requests():
+    db, scheduler = _reader_world(optimistic=False)
+    scheduler.spawn(reader_search(db, "primary", 10, think=0.05), name="r")
+    scheduler.run()
+    assert not scheduler.failed
+    assert db.locks.stats.requests > 0

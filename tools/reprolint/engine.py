@@ -44,6 +44,9 @@ ALL_RULES = "*"
 #: The rule name the ``held-across`` escape suppresses.
 HELD_ACROSS_RULE = "lock-release-pairing"
 
+#: The meta-rule flagging suppressions whose rule no longer fires there.
+STALE_SUPPRESSION_RULE = "stale-suppression"
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -83,12 +86,65 @@ class Suppressions:
     held_across: set[int] = field(default_factory=set)
     #: (line, directive-text) of directives missing a ``-- reason``.
     missing_reason: list[tuple[int, str]] = field(default_factory=list)
+    #: line -> column of the directive comment (for stale findings).
+    directive_cols: dict[int, int] = field(default_factory=dict)
+    #: rule name -> directive line of each ``disable-file`` entry.
+    file_wide_lines: dict[str, int] = field(default_factory=dict)
+    #: (rule, line) suppressions that absorbed at least one finding.
+    used: set[tuple[str, int]] = field(default_factory=set)
+    #: file-wide rule names that absorbed at least one finding.
+    used_file_wide: set[str] = field(default_factory=set)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
-        if rule in self.file_wide or ALL_RULES in self.file_wide:
+        if rule in self.file_wide:
+            self.used_file_wide.add(rule)
+            return True
+        if ALL_RULES in self.file_wide:
+            self.used_file_wide.add(ALL_RULES)
             return True
         on_line = self.by_line.get(line)
-        return bool(on_line) and (rule in on_line or ALL_RULES in on_line)
+        if not on_line:
+            return False
+        if rule in on_line:
+            self.used.add((rule, line))
+            return True
+        if ALL_RULES in on_line:
+            self.used.add((ALL_RULES, line))
+            return True
+        return False
+
+    def iter_stale(self) -> Iterator[tuple[int, int, str]]:
+        """Yield ``(line, col, message)`` for suppressions that absorbed no
+        finding.  Only meaningful after every rule has run on the file —
+        the engine calls this on full-rule-set runs exclusively.
+
+        ``held-across`` escapes are excluded: they are consumed inside the
+        lock-release-pairing rule, so the engine cannot see their use.
+        """
+        for name in sorted(self.file_wide):
+            if name in self.used_file_wide:
+                continue
+            line = self.file_wide_lines.get(name, 1)
+            what = "any rule" if name == ALL_RULES else f"rule {name!r}"
+            yield (
+                line,
+                self.directive_cols.get(line, 0),
+                f"stale file-wide suppression: {what} no longer fires "
+                "anywhere in this file — remove the disable-file directive",
+            )
+        for line in sorted(self.by_line):
+            for name in sorted(self.by_line[line]):
+                if name == HELD_ACROSS_RULE and line in self.held_across:
+                    continue
+                if (name, line) in self.used:
+                    continue
+                what = "any rule" if name == ALL_RULES else f"rule {name!r}"
+                yield (
+                    line,
+                    self.directive_cols.get(line, 0),
+                    f"stale suppression: {what} no longer fires on this "
+                    "line — remove it from the disable directive",
+                )
 
 
 def parse_suppressions(source: str) -> Suppressions:
@@ -97,20 +153,21 @@ def parse_suppressions(source: str) -> Suppressions:
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         comments = [
-            (tok.start[0], tok.string)
+            (tok.start[0], tok.start[1], tok.string)
             for tok in tokens
             if tok.type == tokenize.COMMENT
         ]
     except tokenize.TokenError:
         comments = [
-            (i, line[line.index("#"):])
+            (i, line.index("#"), line[line.index("#"):])
             for i, line in enumerate(source.splitlines(), start=1)
             if "#" in line
         ]
-    for line, text in comments:
+    for line, col, text in comments:
         match = _DIRECTIVE_RE.search(text)
         if match is None:
             continue
+        sup.directive_cols[line] = col
         directive = match.group("directive")
         rules_text = match.group("rules")
         names = (
@@ -125,6 +182,8 @@ def parse_suppressions(source: str) -> Suppressions:
             sup.by_line.setdefault(line, set()).add(HELD_ACROSS_RULE)
         elif directive == "disable-file":
             sup.file_wide.update(names)
+            for name in names:
+                sup.file_wide_lines.setdefault(name, line)
         else:  # disable
             sup.by_line.setdefault(line, set()).update(names)
     return sup
@@ -232,6 +291,23 @@ def lint_source(
             if ctx.suppressions.is_suppressed(rule.name, line):
                 continue
             findings.append(Finding(rule.name, path, line, col, message))
+    if rules is None:
+        # Staleness is only decidable when every rule ran: a partial run
+        # cannot tell "rule no longer fires" from "rule was deselected".
+        sup = ctx.suppressions
+        for line, col, message in sup.iter_stale():
+            # Wildcard suppressions do not silence the meta-rule — a stale
+            # blanket directive would otherwise hide its own report.  Only
+            # an explicit 'stale-suppression' mention does.
+            if STALE_SUPPRESSION_RULE in sup.file_wide:
+                sup.used_file_wide.add(STALE_SUPPRESSION_RULE)
+                continue
+            if STALE_SUPPRESSION_RULE in sup.by_line.get(line, ()):
+                sup.used.add((STALE_SUPPRESSION_RULE, line))
+                continue
+            findings.append(
+                Finding(STALE_SUPPRESSION_RULE, path, line, col, message)
+            )
     findings.sort(key=Finding.sort_key)
     return findings
 

@@ -519,6 +519,25 @@ class SuppressionReasonRule(Rule):
 
 
 @register
+class StaleSuppressionRule(Rule):
+    """A suppression that no longer absorbs any finding is a silenced
+    alarm for a fire that went out — it hides future regressions on that
+    line.  The detection itself lives in the engine (it needs to observe
+    every other rule's suppression hits, so it runs after the rule loop,
+    and only on full-rule-set runs); this class is the catalogue entry
+    and lets the finding be suppressed like any other."""
+
+    name = "stale-suppression"
+    description = (
+        "suppression whose rule no longer fires on that line (checked on "
+        "full-rule-set runs only)"
+    )
+
+    def check(self, ctx: LintContext) -> Iterable[tuple[int, int, str]]:
+        return ()
+
+
+@register
 class ShardRouterOnlyRule(Rule):
     """Shard isolation is structural: a :class:`ShardHandle` can only reach
     its own tree because all tree access inside ``src/repro/shard/`` flows

@@ -1,0 +1,5 @@
+import sys
+
+from reprorace.cli import main
+
+sys.exit(main())
