@@ -1,3 +1,8 @@
+# reproflow: disable-file=lock-order -- Table 1's protocol admits these
+# cycles by design (reader S lock-coupling vs. updater X descent, and
+# side-file posting order): the paper resolves them at runtime with the
+# waits-for deadlock detector, victim abort, undo + ReleaseAll and retry
+# (section 5.2).  reprocheck explores exactly those schedules.
 """Reader and updater protocols (paper sections 4.1.2 and 4.1.3).
 
 These are generator protocols for the discrete-event scheduler: every lock

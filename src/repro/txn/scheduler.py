@@ -1,3 +1,10 @@
+# reproflow: disable-file=lock-pairing -- the scheduler is the op
+# interpreter: it executes Acquire/Release on behalf of protocol
+# generators in separate branches, and _start/_resume/_throw_into are
+# reached via functools.partial (no static call edge), so per-owner
+# pairing cannot be tracked here statically.  Pairing is a property of
+# the generators (checked by reproflow there), and release_all on
+# finish/abort is the runtime backstop.
 """Deterministic discrete-event scheduler for protocol generators.
 
 The scheduler advances a simulated clock and interleaves *processes* —

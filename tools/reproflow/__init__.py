@@ -1,0 +1,13 @@
+"""reproflow — interprocedural pin/lock typestate analysis CLI.
+
+The analysis engine lives in :mod:`repro.analysis.flowgraph` (it is part
+of the package so it can share the Table-1 mode tables); this package is
+the command-line front end, glued to reprolint's shared file cache and
+suppression grammar.  Run as::
+
+    PYTHONPATH=src:tools python -m reproflow [PATHS...]
+"""
+
+from reproflow.cli import main
+
+__all__ = ["main"]

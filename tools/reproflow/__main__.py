@@ -1,0 +1,9 @@
+"""``python -m reproflow`` entry point.
+
+Exit status 0 means no findings; 1 means findings; 2 means usage error.
+"""
+
+from reproflow.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,194 @@
+"""CLI glue: file walking, suppressions, reporting for reproflow.
+
+Reuses reprolint's :class:`~reprolint.engine.FileCache` (each file is read
+and parsed exactly once even when lint and flow run together) and its
+suppression grammar under the ``reproflow`` tool name:
+
+* ``# reproflow: disable=pin-balance -- reason``      one line
+* ``# reproflow: disable-file=lock-pairing -- reason``  whole file
+
+Every directive must carry a ``-- reason``; missing reasons are findings
+themselves (``suppression-reason``), as are directives that no longer
+absorb anything (``stale-suppression``).  A lock-order cycle is suppressed
+by a directive on *any* of its edge request sites.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _ensure_import_paths() -> None:
+    """Allow ``PYTHONPATH=tools python -m reproflow`` from a checkout by
+    adding the sibling ``src`` tree when :mod:`repro` is not importable."""
+    here = Path(__file__).resolve()
+    for candidate in (here.parents[2] / "src",):
+        if candidate.is_dir() and str(candidate) not in sys.path:
+            try:
+                import repro  # noqa: F401
+                return
+            except ImportError:
+                sys.path.insert(0, str(candidate))
+
+
+_ensure_import_paths()
+
+from reprolint.engine import FileCache, Suppressions, parse_suppressions
+
+from repro.analysis.flowgraph import (
+    ANALYSES,
+    FlowFinding,
+    FlowReport,
+    analyze_files,
+)
+
+_ANALYSIS_DESCRIPTIONS = {
+    "pin-balance": "every fetch(pin=True)/pin() reaches unpin() on all "
+    "paths, including exception paths, across the call graph",
+    "lock-pairing": "Table-1 lock traffic balances per owner+mode by the "
+    "time a call-graph root returns",
+    "lock-order": "held-while-acquiring edges form no blocking cycle "
+    "(static deadlock candidates)",
+}
+
+
+def run_flow(
+    paths: list[str],
+    *,
+    cache: FileCache,
+    analyses: list[str] | None = None,
+) -> tuple[list[FlowFinding], FlowReport]:
+    """Analyze ``paths`` through ``cache``; returns the unsuppressed
+    findings plus the raw report (whose stats include suppressed counts)."""
+    parsed_files = cache.walk(paths)
+    files = []
+    sups: dict[str, Suppressions] = {}
+    syntax: list[FlowFinding] = []
+    for parsed in parsed_files:
+        sups[parsed.rel] = parse_suppressions(parsed.source, tool="reproflow")
+        if parsed.error is not None:
+            syntax.append(FlowFinding(
+                analysis="syntax-error",
+                path=parsed.rel,
+                line=parsed.error.lineno or 1,
+                col=parsed.error.offset or 0,
+                message=f"file does not parse: {parsed.error.msg}",
+            ))
+            continue
+        assert parsed.tree is not None
+        files.append((parsed.rel, parsed.tree))
+
+    report = analyze_files(files, analyses=analyses)
+    kept: list[FlowFinding] = list(syntax)
+    suppressed = 0
+    for finding in report.findings:
+        sites = finding.sites or ((finding.path, finding.line),)
+        hit = False
+        for path, line in sites:
+            sup = sups.get(path)
+            # check every site (no short-circuit) so each matching
+            # directive is marked used for the staleness pass.
+            if sup is not None and sup.is_suppressed(finding.analysis, line):
+                hit = True
+        if hit:
+            suppressed += 1
+        else:
+            kept.append(finding)
+
+    for rel in sorted(sups):
+        sup = sups[rel]
+        for line, text in sup.missing_reason:
+            kept.append(FlowFinding(
+                analysis="suppression-reason",
+                path=rel,
+                line=line,
+                col=sup.directive_cols.get(line, 0),
+                message=(
+                    "reproflow suppression without a reason: "
+                    f"{text!r} — append '-- <why this is safe>'"
+                ),
+            ))
+        if analyses is None:
+            # staleness is only decidable when every analysis ran.
+            for line, col, message in sup.iter_stale():
+                kept.append(FlowFinding(
+                    analysis="stale-suppression",
+                    path=rel,
+                    line=line,
+                    col=col,
+                    message=message.replace("rule", "analysis"),
+                ))
+
+    kept.sort(key=FlowFinding.sort_key)
+    report.stats["suppressed"] = suppressed
+    report.stats["reported"] = len(kept)
+    return kept, report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reproflow",
+        description=(
+            "interprocedural pin/lock typestate analysis and static "
+            "lock-order deadlock detection"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit findings and stats as a JSON object",
+    )
+    parser.add_argument(
+        "--analyses",
+        default=None,
+        help="comma-separated subset of analyses to run (default: all)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root anchoring relative paths (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-analyses", action="store_true",
+        help="print the analysis catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_analyses:
+        for name in ANALYSES:
+            print(f"{name:16s} {_ANALYSIS_DESCRIPTIONS[name]}")
+        return 0
+
+    names = None
+    if args.analyses:
+        names = [n.strip() for n in args.analyses.split(",") if n.strip()]
+    try:
+        cache = FileCache(args.root)
+        findings, report = run_flow(args.paths, cache=cache, analyses=names)
+    except (ValueError, OSError) as error:
+        print(f"reproflow: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        payload = {
+            "findings": [f.to_dict() for f in findings],
+            "stats": report.stats,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in findings:
+            print(finding)
+            for line in finding.witness:
+                print(f"    {line}")
+        if findings:
+            print(f"\n{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0

@@ -1,6 +1,7 @@
 """CLI entry point: ``python -m reprolint [--json] [--rules a,b] PATH...``.
 
-Exit status 0 means no findings; 1 means findings; 2 means usage error.
+Exit status 0 means no error-severity findings (hints may still print);
+1 means error findings; 2 means usage error.
 """
 
 from __future__ import annotations
@@ -65,7 +66,9 @@ def main(argv: list[str] | None = None) -> int:
             print(finding)
         if findings:
             print(f"\n{len(findings)} finding(s)", file=sys.stderr)
-    return 1 if findings else 0
+    # Hints are advisory: they print and appear in --json output, but
+    # only error-severity findings fail the gate.
+    return 1 if any(f.severity == "error" for f in findings) else 0
 
 
 if __name__ == "__main__":

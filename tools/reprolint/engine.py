@@ -30,13 +30,26 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator
 
+#: Directive regex per tool name (reprolint shares its suppression grammar
+#: with reproflow: ``# reproflow: disable=pin-balance -- reason``).
+_DIRECTIVE_RES: dict[str, re.Pattern] = {}
+
+
+def _directive_re(tool: str) -> re.Pattern:
+    pattern = _DIRECTIVE_RES.get(tool)
+    if pattern is None:
+        pattern = re.compile(
+            rf"#\s*{re.escape(tool)}:\s*"
+            r"(?P<directive>disable-file|disable|held-across)"
+            r"(?:\s*=\s*(?P<rules>[\w,\- ]+?))?"
+            r"\s*(?:--\s*(?P<reason>.+?))?\s*$"
+        )
+        _DIRECTIVE_RES[tool] = pattern
+    return pattern
+
+
 #: Matches the reprolint directive inside a comment token.
-_DIRECTIVE_RE = re.compile(
-    r"#\s*reprolint:\s*"
-    r"(?P<directive>disable-file|disable|held-across)"
-    r"(?:\s*=\s*(?P<rules>[\w,\- ]+?))?"
-    r"\s*(?:--\s*(?P<reason>.+?))?\s*$"
-)
+_DIRECTIVE_RE = _directive_re("reprolint")
 
 #: Pseudo-rule name meaning "every rule" (bare ``disable`` with no list).
 ALL_RULES = "*"
@@ -57,6 +70,9 @@ class Finding:
     line: int
     col: int
     message: str
+    #: ``"error"`` findings gate CI; ``"hint"`` findings are advisory
+    #: (printed, JSON-reported, but they do not fail the run).
+    severity: str = "error"
 
     def sort_key(self) -> tuple:
         return (self.path, self.line, self.col, self.rule)
@@ -68,10 +84,12 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
 
     def __str__(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        tag = self.rule if self.severity == "error" else f"{self.rule}:hint"
+        return f"{self.path}:{self.line}:{self.col}: [{tag}] {self.message}"
 
 
 @dataclass
@@ -147,8 +165,11 @@ class Suppressions:
                 )
 
 
-def parse_suppressions(source: str) -> Suppressions:
-    """Extract reprolint directives from a file's comments."""
+def parse_suppressions(source: str, *, tool: str = "reprolint") -> Suppressions:
+    """Extract ``tool`` directives (default reprolint) from a file's
+    comments.  reproflow passes ``tool="reproflow"`` to share the grammar
+    without the two tools' directives shadowing each other."""
+    directive_re = _directive_re(tool)
     sup = Suppressions()
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
@@ -164,7 +185,7 @@ def parse_suppressions(source: str) -> Suppressions:
             if "#" in line
         ]
     for line, col, text in comments:
-        match = _DIRECTIVE_RE.search(text)
+        match = directive_re.search(text)
         if match is None:
             continue
         sup.directive_cols[line] = col
@@ -212,6 +233,8 @@ class Rule:
     include: tuple[str, ...] | None = None
     #: Never lint files whose relative path starts with one of these.
     exclude: tuple[str, ...] = ()
+    #: ``"error"`` (default) fails the lint gate; ``"hint"`` is advisory.
+    severity: str = "error"
 
     def applies_to(self, path: str) -> bool:
         if any(path.startswith(prefix) for prefix in self.exclude):
@@ -255,27 +278,82 @@ def _select(names: Iterable[str] | None) -> list[Rule]:
     return [rule for rule in rules if rule.name in wanted]
 
 
+@dataclass
+class ParsedFile:
+    """One file's parse result, shared between reprolint and reproflow."""
+
+    path: Path  # absolute
+    rel: str  # posix path relative to the cache root
+    source: str
+    tree: ast.Module | None
+    error: SyntaxError | None = None
+
+
+class FileCache:
+    """Walks and parses files once so a combined lint+flow run never
+    re-reads or re-parses the tree.  ``parse_count`` exists so tests can
+    assert the single-parse property."""
+
+    def __init__(self, root: Path | None = None) -> None:
+        self.root = (root or Path.cwd()).resolve()
+        self._files: dict[Path, ParsedFile] = {}
+        self.parse_count = 0
+
+    def get(self, file_path: Path) -> ParsedFile:
+        file_path = file_path.resolve()
+        parsed = self._files.get(file_path)
+        if parsed is not None:
+            return parsed
+        try:
+            rel = file_path.relative_to(self.root).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        source = file_path.read_text(encoding="utf-8")
+        tree: ast.Module | None = None
+        error: SyntaxError | None = None
+        try:
+            tree = ast.parse(source, filename=rel)
+        except SyntaxError as exc:
+            error = exc
+        self.parse_count += 1
+        parsed = ParsedFile(path=file_path, rel=rel, source=source,
+                            tree=tree, error=error)
+        self._files[file_path] = parsed
+        return parsed
+
+    def walk(self, paths: Iterable[str | Path]) -> list[ParsedFile]:
+        return [self.get(p) for p in iter_python_files(paths, self.root)]
+
+
+def _syntax_error_finding(path: str, error: SyntaxError) -> Finding:
+    return Finding(
+        rule="syntax-error",
+        path=path,
+        line=error.lineno or 1,
+        col=error.offset or 0,
+        message=f"file does not parse: {error.msg}",
+    )
+
+
 def lint_source(
     path: str,
     source: str,
     *,
     root: Path | None = None,
     rules: Iterable[str] | None = None,
+    tree: ast.Module | None = None,
 ) -> list[Finding]:
-    """Lint one in-memory source blob under a virtual relative ``path``."""
+    """Lint one in-memory source blob under a virtual relative ``path``.
+
+    ``tree`` short-circuits parsing when the caller already holds the
+    parsed module (see :class:`FileCache`).
+    """
     path = Path(path).as_posix()
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as error:
-        return [
-            Finding(
-                rule="syntax-error",
-                path=path,
-                line=error.lineno or 1,
-                col=error.offset or 0,
-                message=f"file does not parse: {error.msg}",
-            )
-        ]
+    if tree is None:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [_syntax_error_finding(path, error)]
     ctx = LintContext(
         path=path,
         source=source,
@@ -290,7 +368,9 @@ def lint_source(
         for line, col, message in rule.check(ctx):
             if ctx.suppressions.is_suppressed(rule.name, line):
                 continue
-            findings.append(Finding(rule.name, path, line, col, message))
+            findings.append(
+                Finding(rule.name, path, line, col, message, rule.severity)
+            )
     if rules is None:
         # Staleness is only decidable when every rule ran: a partial run
         # cannot tell "rule no longer fires" from "rule was deselected".
@@ -333,20 +413,29 @@ def lint_paths(
     *,
     root: Path | None = None,
     rules: Iterable[str] | None = None,
+    cache: FileCache | None = None,
 ) -> list[Finding]:
     """Lint every .py file under ``paths``; returns sorted findings.
 
     ``root`` anchors relative-path rule scoping (default: the current
-    working directory — run from the repository root).
+    working directory — run from the repository root).  Passing a
+    :class:`FileCache` reuses its parsed ASTs (and fills it for other
+    tools — reproflow runs off the same cache).
     """
-    root = (root or Path.cwd()).resolve()
+    if cache is None:
+        cache = FileCache(root)
+    elif root is not None and cache.root != Path(root).resolve():
+        raise ValueError("cache root does not match the lint root")
     findings: list[Finding] = []
-    for file_path in iter_python_files(paths, root):
-        try:
-            rel = file_path.relative_to(root).as_posix()
-        except ValueError:
-            rel = file_path.as_posix()
-        source = file_path.read_text(encoding="utf-8")
-        findings.extend(lint_source(rel, source, root=root, rules=rules))
+    for parsed in cache.walk(paths):
+        if parsed.error is not None:
+            findings.append(_syntax_error_finding(parsed.rel, parsed.error))
+            continue
+        findings.extend(
+            lint_source(
+                parsed.rel, parsed.source,
+                root=cache.root, rules=rules, tree=parsed.tree,
+            )
+        )
     findings.sort(key=Finding.sort_key)
     return findings

@@ -706,3 +706,49 @@ class ChoicePointRegisteredRule(Rule):
                         f"yield Think(duration) so simulated time advances "
                         f"through the scheduler",
                     )
+
+
+@register
+class PinGuardRule(Rule):
+    """Pins taken outside a ``try/finally`` or ``with`` survive any
+    exception raised before the matching ``unpin``; reproflow proves the
+    leak interprocedurally (pin-balance), this hint points at the habit
+    that causes it while the function is still on screen."""
+
+    name = "pin-guard"
+    description = (
+        "fetch(..., pin=True) lexically outside try/finally or with; "
+        "advisory — reproflow's pin-balance analysis is the proof"
+    )
+    include = ("src/",)
+    severity = "hint"
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        yield from self._scan(ctx.tree, guarded=False)
+
+    def _scan(
+        self, node: ast.AST, guarded: bool
+    ) -> Iterator[tuple[int, int, str]]:
+        for child in ast.iter_child_nodes(node):
+            child_guarded = guarded
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                child_guarded = True
+            elif isinstance(child, (ast.Try, ast.TryStar)) and (
+                child.finalbody or child.handlers
+            ):
+                child_guarded = True
+            if (
+                not child_guarded
+                and isinstance(child, ast.Call)
+                and _call_name(child.func) == "fetch"
+                and _is_true(_keyword(child, "pin"))
+            ):
+                yield (
+                    child.lineno,
+                    child.col_offset,
+                    "fetch(..., pin=True) outside try/finally or with; an "
+                    "exception before unpin() leaks the pin — reproflow's "
+                    "pin-balance analysis checks the exception paths "
+                    "interprocedurally",
+                )
+            yield from self._scan(child, child_guarded)
