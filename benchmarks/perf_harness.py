@@ -621,6 +621,128 @@ def run_range_scan_e6_batched(n_records: int = 20_000) -> dict:
     return run_range_scan_e6(n_records, batched=True)
 
 
+def run_placement_policies(
+    n_records: int = 20_000, n_lookups: int = 400
+) -> dict:
+    """Placement-policy comparison: key_order vs veb vs none (ISSUE 9).
+
+    The reorg_20k sparse fixture is reorganized three times, once per
+    :class:`~repro.config.PlacementPolicyKind`, and each resulting tree is
+    measured on two axes: ``measure_descent`` (cold point lookups billed
+    through the shared disk head — the axis vEB placement targets) and
+    ``measure_range_scan`` (the axis key-order placement targets).
+
+    Hard expectations, raised on violation rather than reported:
+
+    * range-scan digests are byte-identical across all three policies (the
+      record set is invariant under placement);
+    * veb and key_order produce *identical leaf layouts* (a vEB order
+      restricted to one level is key order) and hence identical scan cost;
+    * veb strictly reduces the cold-descent read cost vs key_order — its
+      parent-to-first-child hops are sequential, key_order's never are;
+    * the veb upper levels land in one contiguous window.
+    """
+    from repro.btree.stats import measure_descent, measure_range_scan
+    from repro.config import PlacementPolicyKind
+    from repro.storage.page import PageKind
+
+    records, doomed = _sparse_records(n_records)
+    alive = sorted(set(range(n_records)) - set(doomed))
+    probe_keys = random.Random(17).sample(alive, min(n_lookups, len(alive)))
+
+    t0 = time.perf_counter()
+    per_policy: dict[str, dict] = {}
+    for kind in PlacementPolicyKind:
+        db = Database(
+            TreeConfig(
+                leaf_capacity=16,
+                internal_capacity=8,
+                leaf_extent_pages=4096,
+                internal_extent_pages=1024,
+                buffer_pool_pages=512,
+                side_pointers=SidePointerKind.ONE_WAY,
+                placement_policy=kind,
+            )
+        )
+        tree = db.bulk_load_tree(records, leaf_fill=1.0, internal_fill=0.6)
+        for key in doomed:
+            tree.delete(key)
+        db.flush()
+        db.checkpoint()
+        report = Reorganizer(db, tree, ReorgConfig(target_fill=0.9)).run()
+        final = db.tree()
+        final.validate()
+        db.flush()
+        descent = measure_descent(final, probe_keys)
+        scan = measure_range_scan(final, 0, n_records)
+        internal_ids = []
+        stack = [final.root_id]
+        while stack:
+            page = db.store.get(stack.pop())
+            if page.kind is PageKind.INTERNAL:
+                internal_ids.append(page.page_id)
+                stack.extend(page.children())
+        per_policy[kind.value] = {
+            "scan_digest": _scan_digest(final.range_scan(0, n_records)),
+            "leaf_layout": _leaf_layout_digest(db.store, final),
+            "descent_cost": round(descent.read_cost, 1),
+            "descent_sequential": descent.sequential_reads,
+            "scan_cost": round(scan.read_cost, 1),
+            "pass2_ops": report.pass2.operations if report.pass2 else 0,
+            "internal_pages": len(internal_ids),
+            "internal_span": max(internal_ids) - min(internal_ids) + 1
+            if internal_ids
+            else 0,
+        }
+    wall = time.perf_counter() - t0
+
+    key_order, veb, none = (
+        per_policy["key_order"],
+        per_policy["veb"],
+        per_policy["none"],
+    )
+    digests = {p["scan_digest"] for p in per_policy.values()}
+    if len(digests) != 1:
+        raise AssertionError(
+            f"range-scan digests diverged across placement policies: "
+            f"{ {k: p['scan_digest'] for k, p in per_policy.items()} }"
+        )
+    if veb["leaf_layout"] != key_order["leaf_layout"]:
+        raise AssertionError(
+            "veb leaf layout differs from key_order — vEB restricted to "
+            "the leaf level must be key order"
+        )
+    if none["pass2_ops"] != 0:
+        raise AssertionError("the `none` policy must skip pass 2 entirely")
+    if veb["descent_cost"] >= key_order["descent_cost"]:
+        raise AssertionError(
+            f"veb cold-descent cost {veb['descent_cost']} is not below "
+            f"key_order's {key_order['descent_cost']}"
+        )
+    if veb["internal_span"] != veb["internal_pages"]:
+        raise AssertionError(
+            f"veb upper levels are not one contiguous window: "
+            f"{veb['internal_pages']} pages span {veb['internal_span']}"
+        )
+    return {
+        "wall_s": wall,
+        "checks": {
+            "record_count": len(alive),
+            "lookups": len(probe_keys),
+            "scan_digest": key_order["scan_digest"],
+            "descent_reduction": round(
+                key_order["descent_cost"] / veb["descent_cost"], 3
+            ),
+            **{
+                f"{policy}_{metric}": value
+                for policy, numbers in per_policy.items()
+                for metric, value in numbers.items()
+                if metric != "scan_digest"
+            },
+        },
+    }
+
+
 WORKLOADS = {
     "bulk_insert": run_bulk_insert,
     "mixed_e2": run_mixed_e2,
@@ -631,6 +753,7 @@ WORKLOADS = {
     "range_scan_e6": run_range_scan_e6,
     "range_scan_e6_batched": run_range_scan_e6_batched,
     "reorg_20k_sharded": run_reorg_20k_sharded,
+    "placement_policies": run_placement_policies,
 }
 
 #: Per-workload overrides for ``--profile``; "full" is the empty default.
@@ -646,6 +769,7 @@ PROFILE_PARAMS: dict[str, dict[str, dict]] = {
         "range_scan_e6": {"n_records": 2_000},
         "range_scan_e6_batched": {"n_records": 2_000},
         "reorg_20k_sharded": {"n_records": 2_000},
+        "placement_policies": {"n_records": 2_000, "n_lookups": 120},
     },
 }
 

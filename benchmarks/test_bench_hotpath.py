@@ -119,6 +119,36 @@ SEED_CHECKS = {
         "optimistic_downgrades": 9,
         "optimistic_validations": 6131,
     },
+    # Placement policies (added with BENCH_5.json): the same tree
+    # reorganized under key_order / veb / none — veb must beat key_order
+    # on cold descents while every scan-facing value stays identical.
+    "placement_policies": {
+        "record_count": 6000,
+        "lookups": 400,
+        "scan_digest": "4dcbebbe7b63a0a1",
+        "descent_reduction": 1.141,
+        "key_order_leaf_layout": "51a75f2e60667d2f",
+        "key_order_descent_cost": 20000.0,
+        "key_order_descent_sequential": 0,
+        "key_order_scan_cost": 621.0,
+        "key_order_pass2_ops": 609,
+        "key_order_internal_pages": 112,
+        "key_order_internal_span": 112,
+        "veb_leaf_layout": "51a75f2e60667d2f",
+        "veb_descent_cost": 17525.0,
+        "veb_descent_sequential": 275,
+        "veb_scan_cost": 621.0,
+        "veb_pass2_ops": 609,
+        "veb_internal_pages": 112,
+        "veb_internal_span": 112,
+        "none_leaf_layout": "ca348f57003cfd67",
+        "none_descent_cost": 20000.0,
+        "none_descent_sequential": 0,
+        "none_scan_cost": 2097.0,
+        "none_pass2_ops": 0,
+        "none_internal_pages": 112,
+        "none_internal_span": 112,
+    },
 }
 
 

@@ -1,0 +1,62 @@
+"""BENCH check: placement policies (ISSUE 9).
+
+Runs the ``placement_policies`` workload at the CI smoke scale and asserts
+the headline claims behind BENCH_5.json:
+
+* the ``veb`` policy strictly reduces the cold-descent read cost vs the
+  paper's ``key_order`` placement (and actually produces sequential
+  parent-to-child hops, which key_order never does);
+* range-scan digests — and the entire leaf layout for veb vs key_order —
+  are byte-identical across all three policies, so the descent win costs
+  nothing on the axis the paper optimizes;
+* the ``none`` policy skips pass 2 and pays for it with a worse scan.
+
+The workload itself raises on any violated invariant; the tests here pin
+the numbers the report quotes and print them for the CI log.
+"""
+
+import pytest
+
+from conftest import banner
+from perf_harness import run_suite
+
+pytestmark = pytest.mark.bench
+
+
+@pytest.fixture(scope="module")
+def placement():
+    results = run_suite(["placement_policies"], repeats=2, profile="small")
+    return results["placement_policies"]["checks"]
+
+
+def test_veb_reduces_cold_descent_cost(placement):
+    banner("Placement policies — cold-descent read cost")
+    for policy in ("key_order", "veb", "none"):
+        print(
+            f"  {policy:>9}: descent {placement[f'{policy}_descent_cost']:8.1f}"
+            f"   sequential {placement[f'{policy}_descent_sequential']:4d}"
+            f"   scan {placement[f'{policy}_scan_cost']:7.1f}"
+        )
+    print(f"  veb reduction: {placement['descent_reduction']:.3f}x")
+    assert placement["veb_descent_cost"] < placement["key_order_descent_cost"]
+    assert placement["descent_reduction"] > 1.0
+    assert placement["veb_descent_sequential"] > 0
+    assert placement["key_order_descent_sequential"] == 0
+
+
+def test_leaf_layout_and_scans_unchanged(placement):
+    assert placement["veb_leaf_layout"] == placement["key_order_leaf_layout"]
+    assert placement["veb_scan_cost"] == placement["key_order_scan_cost"]
+    # One shared digest in checks == all three policies agreed (the
+    # workload raises otherwise).
+    assert placement["scan_digest"]
+
+
+def test_none_policy_skips_pass2_and_pays_on_scans(placement):
+    assert placement["none_pass2_ops"] == 0
+    assert placement["veb_pass2_ops"] > 0
+    assert placement["none_scan_cost"] > placement["key_order_scan_cost"]
+
+
+def test_veb_window_is_contiguous(placement):
+    assert placement["veb_internal_span"] == placement["veb_internal_pages"]

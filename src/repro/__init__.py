@@ -19,12 +19,20 @@ Quickstart::
 See README.md for a tour and DESIGN.md for the system inventory.
 """
 
-from repro.btree.stats import ScanCost, TreeStats, collect_stats, measure_range_scan
+from repro.btree.stats import (
+    DescentCost,
+    ScanCost,
+    TreeStats,
+    collect_stats,
+    measure_descent,
+    measure_range_scan,
+)
 from repro.btree.tree import BPlusTree
 from repro.config import (
     DEFAULT_REORG_CONFIG,
     DEFAULT_TREE_CONFIG,
     FreeSpacePolicy,
+    PlacementPolicyKind,
     ReorgConfig,
     SidePointerKind,
     TreeConfig,
@@ -42,8 +50,10 @@ __all__ = [
     "DEFAULT_REORG_CONFIG",
     "DEFAULT_TREE_CONFIG",
     "Database",
+    "DescentCost",
     "FreeSpacePolicy",
     "LockMode",
+    "PlacementPolicyKind",
     "Record",
     "ReorgConfig",
     "ReorgReport",
@@ -54,6 +64,7 @@ __all__ = [
     "TreeConfig",
     "TreeStats",
     "collect_stats",
+    "measure_descent",
     "measure_range_scan",
     "__version__",
 ]

@@ -111,6 +111,7 @@ def build_upper_levels(
     fill: float,
     on_page_built: Callable[[InternalPage], None] | None = None,
     start_level: int = 1,
+    place: Callable[[int, int], PageId | None] | None = None,
 ) -> PageId:
     """Build internal levels over (key, child) entries; returns the root id.
 
@@ -118,6 +119,9 @@ def build_upper_levels(
     pass 3 counts pages here to place its stable points.  ``start_level``
     is the level of the first level built (1 when the children are leaves;
     2 when the children are already-built base pages, as in pass 3).
+    ``place(level, index)`` may name a specific free page for the
+    ``index``-th page of ``level`` — the placement-policy hook pass 3 uses
+    for vEB layout; None (per call or overall) keeps first-fit allocation.
     """
     if not entries:
         raise BTreeError("cannot build upper levels over zero entries")
@@ -126,8 +130,11 @@ def build_upper_levels(
     current: list[tuple[int, PageId]] = list(entries)
     while len(current) > 1 or level == start_level:
         next_level: list[tuple[int, PageId]] = []
-        for chunk in _chunk(current, per_page):
-            page = store.allocate_internal(level=level)
+        for index, chunk in enumerate(_chunk(current, per_page)):
+            page = store.allocate_internal(
+                level=level,
+                page_id=place(level, index) if place is not None else None,
+            )
             _log_apply(
                 store, log,
                 AllocRecord(page_id=page.page_id, kind="internal", level=level),

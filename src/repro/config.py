@@ -25,6 +25,26 @@ class SidePointerKind(enum.Enum):
     TWO_WAY = "two_way"
 
 
+class PlacementPolicyKind(enum.Enum):
+    """Where pass 2 puts each leaf and pass 3 puts each new internal page.
+
+    ``KEY_ORDER`` is the paper's placement: leaf ``i`` is driven to the
+    ``i``-th slot of the leaf extent (or shard lease) and pass-3 internal
+    pages take the first free page — range scans become sequential.
+    ``VEB`` keeps the same leaf placement (a van Emde Boas layout restricted
+    to one level *is* left-to-right key order) but lays the rebuilt upper
+    levels out in cache-oblivious vEB order inside one contiguous window,
+    so root-to-leaf descents touch nearby pages.  ``NONE`` disables
+    placement entirely: pass 2 is skipped and pass 3 allocates first-fit,
+    which isolates the cost of compaction alone.  See
+    :mod:`repro.reorg.placement` and ``docs/placement.md``.
+    """
+
+    KEY_ORDER = "key_order"
+    VEB = "veb"
+    NONE = "none"
+
+
 class FreeSpacePolicy(enum.Enum):
     """Policy used by pass 1 to pick an empty page for new-place compaction.
 
@@ -108,6 +128,9 @@ class TreeConfig:
             built.  Non-strict: races are recorded on the active detector's
             ``reports``, not raised.  Like the sanitizer, patches are
             class-level and the off path is byte-identical.
+        placement_policy: which :class:`PlacementPolicyKind` passes 2 and 3
+            use to choose target page ids.  ``KEY_ORDER`` (the default) is
+            byte-identical to the historical behaviour.
     """
 
     leaf_capacity: int = 32
@@ -127,6 +150,7 @@ class TreeConfig:
     reorg_chain_cache: bool = False
     optimistic_reads: bool = False
     race_detector: bool = False
+    placement_policy: PlacementPolicyKind = PlacementPolicyKind.KEY_ORDER
 
     def __post_init__(self) -> None:
         if self.leaf_capacity < 2:
@@ -209,11 +233,17 @@ class ShardConfig:
             ``[separators[i-1], separators[i])`` (open-ended at both ends).
             When empty, :meth:`repro.shard.ShardedDatabase.bulk_load`
             derives equi-populated separators from the loaded records.
+        placement_policy: optional override of
+            :attr:`TreeConfig.placement_policy` for the whole forest.  The
+            per-shard reorganizers then place pass-2/3 targets with this
+            policy inside their own extent leases.  ``None`` inherits the
+            tree config's policy.
     """
 
     n_shards: int = 1
     tree_prefix: str = "shard"
     separators: tuple[int, ...] = ()
+    placement_policy: PlacementPolicyKind | None = None
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:

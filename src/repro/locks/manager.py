@@ -229,6 +229,7 @@ class LockManager:
             self.stats.immediate_grants += 1
             return request
 
+        self._check_blank_with_waiters(owner, resource, mode)
         conflict_holder = self._first_conflicting_holder(owner, resource, mode)
         if conflict_holder is not None:
             holder_owner, holder_mode = conflict_holder
@@ -543,6 +544,34 @@ class LockManager:
 
         cell = compatibility_cell(granted, requested)
         return cell is False
+
+    def _check_blank_with_waiters(
+        self, owner: Owner, resource: Resource, mode: LockMode
+    ) -> None:
+        """Reject a request that blank-pairs with a *queued* request.
+
+        Blank Table-1 cells mean the two modes are never requested together
+        on one resource, and ``_first_conflicting_holder`` raises when the
+        partner is already *held* — but the partner may still be waiting
+        (e.g. two R requests queued behind an X holder).  Without this
+        check the violation would only surface later, inside the innocent
+        holder's release when ``_dispatch`` grants the first request and
+        probes the second against it — an uncatchable place.  Raising here
+        keeps the failure at the offending ``request`` call.
+        """
+        from repro.locks.modes import compatibility_cell
+
+        if mode is LockMode.RS:
+            return  # RS blank-pairs are policed against holders only.
+        for earlier in self._queues.get(resource, ()):
+            if earlier.owner == owner or earlier.instant:
+                continue
+            if compatibility_cell(earlier.mode, mode) is None:
+                raise LockProtocolViolation(
+                    f"modes {earlier.mode.value} (queued) and {mode.value} "
+                    f"(requested) are never requested together "
+                    f"(Table 1 blank cell)"
+                )
 
     def _first_conflicting_holder(
         self, owner: Owner, resource: Resource, mode: LockMode

@@ -6,7 +6,16 @@ from repro.reorg.parallel import (
     build_parallel_pass1,
     partition_base_pages,
 )
-from repro.reorg.freespace import find_free_page
+from repro.reorg.freespace import find_free_page, resolve_preference
+from repro.reorg.placement import (
+    PlacementPolicy,
+    TreeShape,
+    bfs_to_veb,
+    fill_count,
+    make_policy,
+    post_reorg_shape,
+    veb_order,
+)
 from repro.reorg.reorganizer import Reorganizer, ReorgReport
 from repro.reorg.shrink import Pass3Stats, SCAN_DONE_KEY, TreeShrinker
 from repro.reorg.sidefile import SideFile
@@ -17,6 +26,7 @@ from repro.reorg.unit import UnitEngine, UnitResult
 __all__ = [
     "LeafCompactor",
     "ParallelReorgProtocol",
+    "PlacementPolicy",
     "Pass1Stats",
     "Pass2Stats",
     "Pass3Stats",
@@ -27,11 +37,18 @@ __all__ = [
     "SwapMovePass",
     "SwitchStats",
     "Switcher",
+    "TreeShape",
     "TreeShrinker",
     "UnitEngine",
     "UnitResult",
     "build_parallel_pass1",
     "current_lock_name",
+    "bfs_to_veb",
+    "fill_count",
     "find_free_page",
+    "make_policy",
+    "post_reorg_shape",
+    "resolve_preference",
+    "veb_order",
     "partition_base_pages",
 ]

@@ -19,7 +19,6 @@ order, minimizing pass-2 swaps.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 from repro.btree.tree import BPlusTree
@@ -27,6 +26,7 @@ from repro.config import ReorgConfig
 from repro.db import Database
 from repro.errors import ReorgError
 from repro.reorg.freespace import find_free_page
+from repro.reorg.placement import fill_count, make_policy
 from repro.reorg.unit import UnitEngine, UnitResult
 from repro.storage.page import PageId, PageKind
 from repro.storage.store import LEAF_EXTENT
@@ -60,6 +60,10 @@ class LeafCompactor:
         self.tree = tree
         self.config = config
         self.engine = engine or UnitEngine(db, tree)
+        #: Placement policy: may express a Find-Free-Space preference per
+        #: unit (all built-in policies leave pass 1 to the free-space
+        #: policy, so pass-1 behaviour is identical across them).
+        self.placement = make_policy(db.config.placement_policy)
         lease = getattr(db.store, "leaf_lease", None)
         if lease is not None:
             start = lease.start
@@ -131,8 +135,9 @@ class LeafCompactor:
             self.largest_finished = max(self.largest_finished, result.dest_page)
 
     def _target_records_per_page(self) -> int:
-        capacity = self.db.store.config.leaf_capacity
-        return max(1, math.floor(capacity * self.config.target_fill + 1e-9))
+        return fill_count(
+            self.db.store.config.leaf_capacity, self.config.target_fill
+        )
 
     def _plan_groups(self, base_id: PageId, target: int) -> list[list[PageId]]:
         """Greedy grouping of a base page's children by record count.
@@ -183,6 +188,9 @@ class LeafCompactor:
             self.config.free_space_policy,
             largest_finished=self.largest_finished,
             current=current,
+            preference=self.placement.pass1_preference(
+                largest_finished=self.largest_finished, current=current
+            ),
         )
         if empty is not None:
             # Copying-Switching: build the new leaf in the chosen page.
@@ -244,6 +252,9 @@ class LeafCompactor:
             self.config.free_space_policy,
             largest_finished=self.largest_finished,
             current=min(sub),
+            preference=self.placement.pass1_preference(
+                largest_finished=self.largest_finished, current=min(sub)
+            ),
         )
         if empty is not None:
             result = self.engine.compact_unit(base_id, sub, empty, dest_is_new=True)

@@ -39,6 +39,7 @@ from repro.locks.modes import LockMode
 from repro.locks.resources import page_lock, sidefile_lock, tree_lock
 from repro.reorg.compact import LeafCompactor
 from repro.reorg.freespace import find_free_page
+from repro.reorg.placement import make_policy
 from repro.reorg.shrink import SCAN_DONE_KEY, TreeShrinker
 from repro.reorg.switch import Switcher, _bump_lock_name, current_lock_name
 from repro.reorg.unit import UnitEngine
@@ -74,6 +75,11 @@ class ReorgProtocol:
         self.config = config or ReorgConfig()
         self.tree = db.tree(tree_name)
         self.engine = UnitEngine(db, self.tree)
+        #: Placement policy deciding pass-2 leaf targets (and, through the
+        #: shrinker, pass-3 internal targets).  Shard handles carry a
+        #: possibly-overridden config, so each shard reorganizer resolves
+        #: its own policy against its own leases.
+        self.placement = make_policy(db.config.placement_policy)
         #: Which side file this reorganizer's switch drains.  Defaults to
         #: the db's own side-file name (shard handles carry one), falling
         #: back to the single global side file.
@@ -220,6 +226,9 @@ class ReorgProtocol:
                 self.config.free_space_policy,
                 largest_finished=compactor.largest_finished,
                 current=current,
+                preference=self.placement.pass1_preference(
+                    largest_finished=compactor.largest_finished, current=current
+                ),
             )
             if empty is not None:
                 dest, dest_is_new = empty, True
@@ -388,6 +397,9 @@ class ReorgProtocol:
         """Swap/move under unit locking; section 4.1 + section 6."""
         yield Acquire(tree_lock(self._lock_name()), IX)
         stats = {"swaps": 0, "moves": 0, "retries": 0}
+        if not self.placement.places_leaves:
+            yield ReleaseAll()
+            return stats
         lease = getattr(self.db.store, "leaf_lease", None)
         if lease is not None:
             start = lease.start
@@ -419,8 +431,11 @@ class ReorgProtocol:
         if root.kind is PageKind.LEAF:
             return None
         chain = self.tree.leaf_ids_in_key_order()
+        slots = self.placement.leaf_slots(len(chain), start)
+        if slots is None:
+            return None
         for index, leaf in enumerate(chain):
-            target = start + index
+            target = slots[index]
             if leaf == target:
                 continue
             occupied = not self.db.store.free_map.is_free(target)

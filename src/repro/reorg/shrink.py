@@ -38,7 +38,6 @@ orphan deallocation) is preserved.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Callable
 
@@ -47,6 +46,13 @@ from repro.btree.tree import BPlusTree
 from repro.config import ReorgConfig
 from repro.db import Database
 from repro.errors import ReorgError
+from repro.reorg.placement import (
+    TreeShape,
+    fill_count,
+    make_policy,
+    post_reorg_shape,
+    predict_base_width,
+)
 from repro.reorg.sidefile import SideFile
 from repro.storage.page import InternalPage, PageId, PageKind
 from repro.wal.apply import apply_record
@@ -100,6 +106,41 @@ class TreeShrinker:
         #: CK — low mark of the base page currently being reorganized.
         self._current_key: int | None = None
         self.new_root: PageId = -1
+        #: Placement policy for the new internal pages.  Only a policy that
+        #: plans internals (vEB) pays for the shape prediction and window
+        #: reservation; the default first-fit path does no extra work, so
+        #: key-order runs stay byte-identical to the historical behaviour.
+        self.placement = make_policy(db.config.placement_policy)
+        self._plan = None
+        if self.placement.plans_internals:
+            self._plan = self.placement.pass3_plan(db.store, self._predicted_shape())
+
+    def _predicted_shape(self) -> TreeShape:
+        """Shape of the tree this pass is about to build.
+
+        The upper levels are perfect-fill chunked, but the base level must
+        account for stable points closing the open page early — so its
+        width is simulated from the old base level's entry counts
+        (:func:`predict_base_width`).  The walk reads only pages pass 3 is
+        about to scan anyway; it runs once, and only for policies that plan
+        internals.  Concurrent updates during the scan can still grow the
+        tree past the prediction — those nodes fall outside the plan and
+        take the default allocation.
+        """
+        per_page = self._per_page()
+        n_leaves = len(self.tree.leaf_ids_in_key_order())
+        root = self.db.store.get(self.tree.root_id)
+        if root.kind is PageKind.LEAF:
+            return post_reorg_shape(n_leaves, per_page)
+        entry_counts: list[int] = []
+        base = self._base_page_for_key(self._smallest_key())
+        while base is not None:
+            entry_counts.append(len(base.entries))
+            base = self.tree.next_base_page_after(base.entries[-1][0])
+        base_width = predict_base_width(
+            entry_counts, per_page, self.config.stable_point_interval
+        )
+        return post_reorg_shape(n_leaves, per_page, base_width=base_width)
 
     # -- the paper's utilities ---------------------------------------------------
 
@@ -220,12 +261,23 @@ class TreeShrinker:
     # -- emitting new base pages ------------------------------------------------------
 
     def _per_page(self) -> int:
-        capacity = self.db.store.config.internal_capacity
-        return max(1, math.floor(capacity * self.config.internal_fill + 1e-9))
+        return fill_count(
+            self.db.store.config.internal_capacity, self.config.internal_fill
+        )
+
+    def _place_internal(self, level: int, index: int) -> PageId | None:
+        """Policy-preferred free page for internal node (level, index), or
+        None for the store's default (first-fit) allocation."""
+        if self._plan is None:
+            return None
+        return self._plan.resolve(self.db.store, level=level, index=index)
 
     def _emit(self, key: int, child: PageId) -> None:
         if self._open_page is None:
-            page = self.db.store.allocate_internal(level=1)
+            page = self.db.store.allocate_internal(
+                level=1,
+                page_id=self._place_internal(1, len(self.built_entries)),
+            )
             self.db.log.append(AllocRecord(page_id=page.page_id, kind="internal", level=1))
             self._open_page = page
             self._open_entries = []
@@ -289,6 +341,7 @@ class TreeShrinker:
                 fill=self.config.internal_fill,
                 start_level=2,
                 on_page_built=lambda page: built.append(page.page_id),
+                place=self._place_internal if self._plan is not None else None,
             )
             self.stats.new_internal_pages += len(built)
             self._unforced_pages.extend(built)

@@ -5,8 +5,11 @@ contiguous in the key order."  The pass is optional — "the user can decide
 not to do swapping"; "One scenario we envision is choosing to do swapping
 only when range query performance falls below some acceptable level."
 
-The implementation walks the leaves in key order and drives each one to its
-target slot (the i-th leaf belongs at the i-th page of the leaf extent):
+The implementation walks the leaves in key order and drives each one to the
+target slot assigned by the configured placement policy
+(:mod:`repro.reorg.placement`; under the default ``key_order`` policy the
+i-th leaf belongs at the i-th page of the leaf extent, and every built-in
+policy either keeps that assignment or skips the pass):
 
 * target slot free           -> **Moving** (a MOVE unit, new-place; cheaper:
   one base page, and careful writing keeps the log small);
@@ -29,6 +32,7 @@ from dataclasses import dataclass
 from repro.btree.tree import BPlusTree
 from repro.db import Database
 from repro.errors import ReorgError
+from repro.reorg.placement import make_policy
 from repro.reorg.unit import UnitEngine
 from repro.storage.page import PageId, PageKind
 from repro.storage.store import LEAF_EXTENT
@@ -59,9 +63,31 @@ class SwapMovePass:
         self.db = db
         self.tree = tree
         self.engine = engine or UnitEngine(db, tree)
+        #: Placement policy: supplies the target slot of every leaf (or
+        #: declines to place leaves at all, making this pass a no-op).
+        self.placement = make_policy(db.config.placement_policy)
+
+    def _leaf_slots(self, n_leaves: int) -> list[PageId]:
+        """Policy-assigned target page for each leaf rank.
+
+        The target window starts at the shard's leaf-lease start when this
+        database is a lease-constrained shard view, else at the leaf extent
+        start — pass 2 must never drive a leaf outside its shard's lease.
+        """
+        lease = getattr(self.db.store, "leaf_lease", None)
+        window_start = (
+            lease.start
+            if lease is not None
+            else self.db.store.disk.extent(LEAF_EXTENT).start
+        )
+        slots = self.placement.leaf_slots(n_leaves, window_start)
+        assert slots is not None  # run() checked places_leaves
+        return slots
 
     def run(self) -> Pass2Stats:
         stats = Pass2Stats()
+        if not self.placement.places_leaves:
+            return stats  # the `none` policy: leaves stay where pass 1 left them
         root = self.db.store.get(self.tree.root_id)
         if root.kind is PageKind.LEAF:
             return stats  # a single-leaf tree is trivially in order
@@ -80,12 +106,12 @@ class SwapMovePass:
 
     def _run_key_order(self, stats: Pass2Stats) -> None:
         """The paper's ordering: drive leaf i to slot i, for i ascending."""
-        extent = self.db.store.disk.extent(LEAF_EXTENT)
         chain = self.engine.leaf_chain()
+        slots = self._leaf_slots(len(chain))
         position = {pid: i for i, pid in enumerate(chain)}
         for index in range(len(chain)):
             current = chain[index]
-            target = extent.start + index
+            target = slots[index]
             if current == target:
                 stats.already_placed += 1
                 continue
@@ -114,7 +140,7 @@ class SwapMovePass:
         The key-order schedule jumps the disk head around — leaf ``i`` may
         live anywhere in the extent, so consecutive units touch distant
         pages.  This variant keeps the *placement* invariant (leaf ``i``
-        ends at slot ``extent.start + i``) but picks the order of units to
+        ends at its policy-assigned slot) but picks the order of units to
         sweep ascending over the **source** page ids:
 
         1. repeatedly sweep the still-misplaced leaves in ascending order
@@ -129,11 +155,11 @@ class SwapMovePass:
         Every step places at least one leaf, so the pass terminates with
         exactly the same final layout as the key-order schedule.
         """
-        extent = self.db.store.disk.extent(LEAF_EXTENT)
         chain = self.engine.leaf_chain()
+        slots = self._leaf_slots(len(chain))
         cur = list(chain)  # cur[i]: page currently holding leaf i
         page_to_index = {pid: i for i, pid in enumerate(cur)}
-        pending = {i for i, pid in enumerate(cur) if pid != extent.start + i}
+        pending = {i for i, pid in enumerate(cur) if pid != slots[i]}
         stats.already_placed += len(cur) - len(pending)
         while pending:
             # 1. Elevator sweeps of MOVEs, ascending source page id.
@@ -141,7 +167,7 @@ class SwapMovePass:
             while progressed and pending:
                 progressed = False
                 for index in sorted(pending, key=lambda i: cur[i]):
-                    target = extent.start + index
+                    target = slots[index]
                     if not self.db.store.free_map.is_free(target):
                         continue
                     source = cur[index]
@@ -157,7 +183,7 @@ class SwapMovePass:
             # 2. All remaining targets are occupied by pending leaves:
             # break a cycle with one swap at the smallest pending index.
             index = min(pending)
-            target = extent.start + index
+            target = slots[index]
             occupant = page_to_index.get(target)
             if occupant is None or occupant not in pending:
                 raise ReorgError(
@@ -170,7 +196,7 @@ class SwapMovePass:
             page_to_index[target] = index
             page_to_index[source] = occupant
             pending.discard(index)
-            if cur[occupant] == extent.start + occupant:
+            if cur[occupant] == slots[occupant]:
                 # Leaf ``index`` was sitting on the occupant's own target,
                 # so the swap placed both ends of a 2-cycle.
                 pending.discard(occupant)

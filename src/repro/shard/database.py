@@ -16,6 +16,8 @@ identical (asserted by the ``reorg_20k_sharded`` benchmark).
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.config import ShardConfig, TreeConfig
 from repro.db import Database, Pass3State
 from repro.perf import PERF
@@ -53,6 +55,14 @@ class ShardedDatabase:
         base = self._db.store
         n = self.shard_config.n_shards
         free_map = base.free_map
+        # A forest-wide placement override replaces the tree config each
+        # handle sees; per-shard reorganizers then resolve their placement
+        # policy from their own handle, window-clamped by their leases.
+        handle_config = self.config
+        if self.shard_config.placement_policy is not None:
+            handle_config = dataclasses.replace(
+                self.config, placement_policy=self.shard_config.placement_policy
+            )
         for i in range(n):
             leaf = self._slice(base.disk.extent(LEAF_EXTENT), i, n)
             internal = self._slice(base.disk.extent(INTERNAL_EXTENT), i, n)
@@ -64,7 +74,7 @@ class ShardedDatabase:
             handle = ShardHandle(
                 index=i,
                 tree_name=f"{self.shard_config.tree_prefix}{i}",
-                config=self.config,
+                config=handle_config,
                 store=store,
                 log=self.log,
                 locks=self.locks,

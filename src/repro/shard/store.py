@@ -53,8 +53,10 @@ class ShardStore:
         self.buffer.put_new(page)
         return page
 
-    def allocate_internal(self, level: int) -> InternalPage:
-        pid = self.free_map.allocate_in_lease(self.internal_lease)
+    def allocate_internal(
+        self, level: int, page_id: PageId | None = None
+    ) -> InternalPage:
+        pid = self.free_map.allocate_in_lease(self.internal_lease, page_id)
         page = InternalPage(pid, self.config.internal_capacity, level=level)
         self.buffer.put_new(page)
         return page

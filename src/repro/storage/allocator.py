@@ -144,6 +144,75 @@ class FreeSpaceMap:
         head = self._head[extent_name]
         return free[head] if head < len(free) else None
 
+    def first_free_run(
+        self,
+        extent_name: str,
+        length: int,
+        *,
+        after: PageId | None = None,
+        before: PageId | None = None,
+    ) -> PageId | None:
+        """Start of the first run of ``length`` consecutive free pages with
+        ``after < start`` and ``start + length <= before``, or None.
+
+        The vEB placement policy reserves its whole internal-page window
+        with one such query so every node of the new upper levels lands at
+        a known offset.  Linear in the number of free pages past ``after``
+        (each candidate start is visited at most once).
+        """
+        if length < 1:
+            raise ValueError("run length must be >= 1")
+        extent = self._extents[extent_name]
+        lo = extent.start - 1 if after is None else after
+        hi = extent.end if before is None else min(before, extent.end)
+        free = self._free[extent_name]
+        n = len(free)
+        i = bisect.bisect_right(free, lo, self._head[extent_name])
+        while i < n and free[i] + length <= hi:
+            j = i + length - 1
+            if j < n and free[j] == free[i] + length - 1:
+                return free[i]
+            # A gap breaks the run somewhere in (i, j]: restart just past it.
+            k = i + 1
+            while k < n and free[k] == free[k - 1] + 1:
+                k += 1
+            i = k
+        return None
+
+    def nearest_free(
+        self,
+        extent_name: str,
+        target: PageId,
+        *,
+        after: PageId | None = None,
+        before: PageId | None = None,
+    ) -> PageId | None:
+        """Free page nearest to ``target`` with ``after < p < before``.
+
+        Returns ``target`` itself when it is free and in range; ties in
+        distance resolve to the smaller page id.  This is the fallback half
+        of a placement *preference*: the policy names an exact page, and
+        allocation degrades to the closest free page inside the caller's
+        lease when that page is taken.
+        """
+        extent = self._extents[extent_name]
+        lo = extent.start - 1 if after is None else after
+        hi = extent.end if before is None else min(before, extent.end)
+        free = self._free[extent_name]
+        head = self._head[extent_name]
+        lo_idx = bisect.bisect_right(free, lo, head)
+        i = bisect.bisect_left(free, target, head)
+        up_idx = max(i, lo_idx)
+        up = free[up_idx] if up_idx < len(free) and free[up_idx] < hi else None
+        down = None
+        if i - 1 >= lo_idx and free[i - 1] < hi:
+            down = free[i - 1]
+        if up is None:
+            return down
+        if down is None:
+            return up
+        return down if target - down <= up - target else up
+
     # -- leases -------------------------------------------------------------
 
     def grant_lease(self, extent_name: str, start: PageId, end: PageId) -> ExtentLease:

@@ -69,8 +69,15 @@ class StorageManager:
         self.buffer.put_new(page)
         return page
 
-    def allocate_internal(self, level: int) -> InternalPage:
-        pid = self.free_map.allocate(INTERNAL_EXTENT)
+    def allocate_internal(
+        self, level: int, page_id: PageId | None = None
+    ) -> InternalPage:
+        """Allocate an internal page (optionally a specific free id).
+
+        Explicit ids come from placement policies (vEB upper levels); the
+        default remains first-fit.
+        """
+        pid = self.free_map.allocate(INTERNAL_EXTENT, page_id)
         page = InternalPage(pid, self.config.internal_capacity, level=level)
         self.buffer.put_new(page)
         return page

@@ -126,6 +126,22 @@ class TestFIFOFairness:
         assert r1.state is RequestState.GRANTED
         assert r2.state is RequestState.GRANTED
 
+    def test_blank_pair_with_queued_waiter_raises_at_request_time(
+        self, lm, reader
+    ):
+        """Two R requests queued behind an X: the second is the Table-1
+        blank-cell violation, and it must surface at its own ``request``
+        call — not later, inside the X holder's release when dispatch
+        grants the first R and probes the second against it."""
+        r1, r2 = Owner("r1", is_reorganizer=True), Owner("r2")
+        lm.request(reader, BASE, X)
+        first = lm.request(r1, BASE, R)
+        assert first.state is RequestState.WAITING
+        with pytest.raises(LockProtocolViolation):
+            lm.request(r2, BASE, R)
+        lm.release(reader, BASE, X)  # must not raise mid-dispatch
+        assert first.state is RequestState.GRANTED
+
 
 class TestRXBehaviour:
     def test_conflicting_request_against_rx_is_rejected_not_queued(
