@@ -27,6 +27,11 @@ data point behind:
   byte-identical) and as a 4-shard forest with one full three-pass
   reorganizer per shard.  Checks carry the simulated-clock makespans;
   the 4-shard run must be >= 2x faster with identical merged scans.
+* ``churn_daemon`` — gapped leaves + fragmentation-aware auto-reorg
+  daemon (docs/gapped_leaves.md): gapped vs gapless bulk load under an
+  insert stream (split-count win), then DES insert/delete churn with the
+  daemon off vs on (the daemon must hold cold range-scan cost roughly
+  flat while the off cell degrades).
 
 Each workload also returns deterministic *check* values (record counts,
 unit/swap counts, log bytes).  Those must be bit-identical run to run and
@@ -62,11 +67,18 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-from repro.config import ReorgConfig, ShardConfig, SidePointerKind, TreeConfig
+from repro.config import (
+    DaemonConfig,
+    ReorgConfig,
+    ShardConfig,
+    SidePointerKind,
+    TreeConfig,
+)
 from repro.db import Database
 from repro.reorg.protocols import ReorgProtocol, full_reorganization
 from repro.reorg.reorganizer import Reorganizer
 from repro.shard import ParallelReorganizer, ShardedDatabase
+from repro.sim.churn import ChurnSetup, run_churn_experiment, scan_digest
 from repro.sim.driver import ExperimentSetup, run_concurrent_experiment
 from repro.sim.workload import WorkloadConfig
 from repro.storage.page import Record
@@ -743,6 +755,160 @@ def run_placement_policies(
     }
 
 
+def run_churn_daemon(
+    n_records: int = 4_000,
+    n_ops: int = 3_000,
+    churn_records: int = 20_000,
+    churn_inserts: int = 5_000,
+    gap_fraction: float = 0.25,
+    split_ratio_floor: float = 2.0,
+    off_floor: float = 1.5,
+    on_limit: float = 1.10,
+) -> dict:
+    """Gapped leaves + auto-reorg daemon under sustained churn.
+
+    Two cells, both seeded-deterministic:
+
+    1. **Gapped vs gapless bulk load + insert churn** (synchronous):
+       the same records bulk loaded with ``leaf_gap_fraction`` 0 and
+       ``gap_fraction``, then the same odd-key insert stream applied to
+       each.  The gapped layout must absorb inserts in-place and cut the
+       leaf split count by at least ``split_ratio_floor``; both trees
+       must scan to the same digest.  Per-cell wall clocks go in the
+       informational section (the one non-deterministic entry there) —
+       the gapped cell's win shows up as wall time too, but wall is
+       never asserted.
+
+    2. **Daemon-off vs daemon-on DES churn**: ``n_ops`` interleaved
+       insert/delete updater transactions against a bulk-loaded tree
+       (:mod:`repro.sim.churn`).  Without the daemon, splits scatter
+       leaves and the cold range-scan cost degrades by at least
+       ``off_floor``; with the :class:`repro.reorg.daemon.ReorgDaemon`
+       polling the live fragmentation metrics and running the paper's
+       three-pass reorg concurrently with the churn, the same stream
+       must hold degradation within ``on_limit``.  Both cells must end
+       with identical records (digest-checked).
+    """
+    assert PERF is not None, "churn_daemon needs the perf registry"
+    t0 = time.perf_counter()
+
+    # -- cell 1: gapped vs gapless bulk load + insert churn ------------------
+    rng = random.Random(4242)
+    insert_keys = rng.sample(range(1, 2 * churn_records, 2), churn_inserts)
+    payload = "p" * 16
+    cells: dict[str, dict] = {}
+    for label, gap in (("gapless", 0.0), ("gapped", gap_fraction)):
+        db = Database(TreeConfig(leaf_gap_fraction=gap))
+        tree = db.bulk_load_tree(
+            [Record(2 * k, payload) for k in range(churn_records)],
+            leaf_fill=1.0,
+        )
+        splits0 = PERF.gap.leaf_splits
+        absorbed0 = PERF.gap.absorbed_inserts
+        # Time only the churn: the gapped layout pays its slack at build
+        # time (more pages bulk loaded) and earns it back on every insert
+        # that would otherwise split.
+        cell_t0 = time.perf_counter()
+        for key in insert_keys:
+            tree.insert(Record(key, payload))
+        cell_wall = time.perf_counter() - cell_t0
+        cells[label] = {
+            "splits": PERF.gap.leaf_splits - splits0,
+            "absorbed": PERF.gap.absorbed_inserts - absorbed0,
+            "records": len(tree.range_scan(0, 2 * churn_records)),
+            "digest": scan_digest(tree.items()),
+            "wall_s": cell_wall,
+        }
+    gapless, gapped = cells["gapless"], cells["gapped"]
+    if gapless["digest"] != gapped["digest"]:
+        raise AssertionError(
+            "gapped layout changed tree contents: "
+            f"{gapless['digest']} != {gapped['digest']}"
+        )
+    split_reduction = gapless["splits"] / max(1, gapped["splits"])
+    if split_reduction < split_ratio_floor:
+        raise AssertionError(
+            f"gapped leaves cut splits only {split_reduction:.2f}x "
+            f"({gapless['splits']} -> {gapped['splits']}), "
+            f"need >= {split_ratio_floor}x"
+        )
+
+    # -- cell 2: daemon-off vs daemon-on DES churn ---------------------------
+    setup = ChurnSetup(
+        tree_config=TreeConfig(
+            leaf_capacity=16,
+            buffer_pool_pages=256,
+            leaf_gap_fraction=gap_fraction,
+        ),
+        daemon_config=DaemonConfig(
+            poll_interval=20.0,
+            frag_high=0.30,
+            frag_low=0.15,
+            cooldown=30.0,
+            split_trigger=1,
+        ),
+        n_records=n_records,
+        n_ops=n_ops,
+    )
+    des_walls: dict[str, float] = {}
+    cell_t0 = time.perf_counter()
+    off = run_churn_experiment(setup, daemon=False)
+    des_walls["daemon_off_wall_s"] = time.perf_counter() - cell_t0
+    cell_t0 = time.perf_counter()
+    on = run_churn_experiment(setup, daemon=True)
+    des_walls["daemon_on_wall_s"] = time.perf_counter() - cell_t0
+
+    if off.final_digest != on.final_digest:
+        raise AssertionError(
+            "auto-reorg daemon changed tree contents under churn: "
+            f"{off.final_digest} != {on.final_digest}"
+        )
+    if off.degradation < off_floor:
+        raise AssertionError(
+            f"daemon-off churn degraded scans only {off.degradation:.3f}x, "
+            f"need >= {off_floor}x for the cell to mean anything"
+        )
+    if on.degradation > on_limit:
+        raise AssertionError(
+            f"daemon-on churn degraded scans {on.degradation:.3f}x, "
+            f"must stay within {on_limit}x"
+        )
+    if on.reorgs < 1:
+        raise AssertionError("the daemon never triggered a reorganization")
+    wall = time.perf_counter() - t0
+
+    assert on.daemon is not None
+    return {
+        "wall_s": wall,
+        "checks": {
+            "churn_records": gapless["records"],
+            "gapless_splits": gapless["splits"],
+            "gapped_splits": gapped["splits"],
+            "gapped_absorbed": gapped["absorbed"],
+            "split_reduction": round(split_reduction, 2),
+            "churn_digest": gapless["digest"],
+            "des_records": on.final_records,
+            "des_digest": on.final_digest,
+            "off_scan_cost": round(off.final_cost, 1),
+            "off_degradation": round(off.degradation, 3),
+            "on_scan_cost": round(on.final_cost, 1),
+            "on_degradation": round(on.degradation, 3),
+            "off_leaf_splits": off.leaf_splits,
+            "on_absorbed": on.absorbed_inserts,
+            "daemon_polls": on.daemon.polls,
+            "daemon_reorgs": on.reorgs,
+            "daemon_deferred_cooldown": on.daemon.deferred_cooldown,
+        },
+        # Wall clocks are the one informational entry here that is not
+        # deterministic; they carry the gapped / daemon wall-time story.
+        "io": {
+            "gapless_churn_wall_s": round(gapless["wall_s"], 4),
+            "gapped_churn_wall_s": round(gapped["wall_s"], 4),
+            **{k: round(v, 4) for k, v in des_walls.items()},
+        },
+    }
+
+
 WORKLOADS = {
     "bulk_insert": run_bulk_insert,
     "mixed_e2": run_mixed_e2,
@@ -754,6 +920,7 @@ WORKLOADS = {
     "range_scan_e6_batched": run_range_scan_e6_batched,
     "reorg_20k_sharded": run_reorg_20k_sharded,
     "placement_policies": run_placement_policies,
+    "churn_daemon": run_churn_daemon,
 }
 
 #: Per-workload overrides for ``--profile``; "full" is the empty default.
@@ -770,6 +937,14 @@ PROFILE_PARAMS: dict[str, dict[str, dict]] = {
         "range_scan_e6_batched": {"n_records": 2_000},
         "reorg_20k_sharded": {"n_records": 2_000},
         "placement_policies": {"n_records": 2_000, "n_lookups": 120},
+        "churn_daemon": {
+            "n_records": 1_500,
+            "n_ops": 1_200,
+            "churn_records": 2_000,
+            "churn_inserts": 500,
+            "off_floor": 1.2,
+            "on_limit": 1.25,
+        },
     },
 }
 

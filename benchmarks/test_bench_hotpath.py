@@ -149,6 +149,29 @@ SEED_CHECKS = {
         "none_internal_pages": 112,
         "none_internal_span": 112,
     },
+    # Gapped leaves + auto-reorg daemon (added with BENCH_6.json): the
+    # gapped layout must keep absorbing the same churn stream with ~6.6x
+    # fewer splits and identical contents, and the daemon cell must keep
+    # firing the same metric-triggered reorgs with digest-identical trees.
+    "churn_daemon": {
+        "churn_records": 25000,
+        "gapless_splits": 625,
+        "gapped_splits": 95,
+        "gapped_absorbed": 4846,
+        "split_reduction": 6.58,
+        "churn_digest": "020fac9d0d2c3600a9b684a391bf3bf8",
+        "des_records": 4060,
+        "des_digest": "315146e614119067b741a33e25355b44",
+        "off_scan_cost": 761.0,
+        "off_degradation": 2.219,
+        "on_scan_cost": 362.0,
+        "on_degradation": 1.055,
+        "off_leaf_splits": 22,
+        "on_absorbed": 960,
+        "daemon_polls": 150,
+        "daemon_reorgs": 18,
+        "daemon_deferred_cooldown": 2,
+    },
 }
 
 

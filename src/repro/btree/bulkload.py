@@ -35,7 +35,8 @@ from repro.wal.records import (
     LeafFormatRecord,
     SidePointerRecord,
 )
-from repro.config import SidePointerKind
+from repro.config import SidePointerKind, gapped_leaf_fill, leaf_gap_slots
+from repro.perf import PERF
 
 
 def _fill_count(capacity: int, fill: float) -> int:
@@ -66,7 +67,11 @@ def build_leaf_level(
         raise BTreeError("bulk load input must be sorted by key")
     if len(set(keys)) != len(keys):
         raise BTreeError("bulk load input must not contain duplicate keys")
-    per_page = _fill_count(store.config.leaf_capacity, fill)
+    # Leaf packing honours the configured gap: gapped_leaf_fill clamps the
+    # fill-count so each new leaf keeps its reserved slack free (identical
+    # to the historical fill arithmetic when leaf_gap_fraction is 0).
+    per_page = gapped_leaf_fill(store.config, fill)
+    gapped = leaf_gap_slots(store.config) > 0
     entries: list[tuple[int, PageId]] = []
     previous_id: PageId | None = None
     for chunk in _chunk(records, per_page):
@@ -100,6 +105,8 @@ def build_leaf_level(
             )
         entries.append((chunk[0].key, leaf.page_id))
         previous_id = leaf.page_id
+    if gapped:
+        PERF.gap.gapped_leaves_built += len(entries)
     return entries
 
 

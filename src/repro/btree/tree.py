@@ -21,7 +21,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.config import SidePointerKind, TreeConfig
+from repro.config import SidePointerKind, TreeConfig, gapped_leaf_fill
+from repro.perf import PERF
 from repro.errors import (
     BTreeError,
     KeyNotFoundError,
@@ -69,6 +70,11 @@ class BPlusTree:
         #: the section 7.2 updater logic here: a change behind the scan's
         #: current key must also be appended to the side file.
         self.base_change_listener = None
+        #: Optional :class:`repro.metrics.FragmentationStats` bag this
+        #: tree's insert/delete/split/free paths feed.  Database.tree()
+        #: and ShardHandle.tree() wire the owner's per-tree instance here
+        #: so live fill-factor metrics survive the throwaway tree handles.
+        self.frag_stats = None
 
     # -- construction -----------------------------------------------------------
 
@@ -382,12 +388,24 @@ class BPlusTree:
         path, leaf = self._descend_for_insert(record.key)
         if leaf.is_full:
             leaf = self._split_leaf(path, record.key)
+        elif (
+            self.config.leaf_gap_fraction > 0.0
+            and leaf.num_items >= gapped_leaf_fill(self.config, 1.0)
+        ):
+            # The insert lands in slack the gapped build reserved: a
+            # gapless layout would have had this leaf full and split.
+            PERF.gap.absorbed_inserts += 1
+            if self.frag_stats is not None:
+                self.frag_stats.absorbed_inserts += 1
         self._log_apply(
             LeafInsertRecord(
                 page_id=leaf.page_id, record=record, tree_name=self.name
             ),
             txn,
         )
+        if self.frag_stats is not None:
+            self.frag_stats.inserts += 1
+            self.frag_stats.records += 1
 
     def _descend_for_insert(self, key: int) -> tuple[list[PageId], LeafPage]:
         """Path from the root to the leaf responsible for ``key``, plus the
@@ -426,6 +444,10 @@ class BPlusTree:
     def _split_leaf(self, path: list[PageId], pending_key: int) -> LeafPage:
         """Split the leaf at the end of ``path``; return the leaf that
         should now receive ``pending_key``."""
+        PERF.gap.leaf_splits += 1
+        if self.frag_stats is not None:
+            self.frag_stats.leaf_splits += 1
+            self.frag_stats.leaves += 1
         leaf = self.store.get_leaf(path[-1])
         records = list(leaf.records)
         # Keep the majority on the lower (left) side: under ascending-key
@@ -491,6 +513,7 @@ class BPlusTree:
             )
 
     def _split_internal(self, ancestors: list[PageId], pending_key: int) -> InternalPage:
+        PERF.gap.internal_splits += 1
         page = self.store.get_internal(ancestors[-1])
         entries = list(page.entries)
         mid = (len(entries) + 1) // 2
@@ -558,6 +581,9 @@ class BPlusTree:
             ),
             txn,
         )
+        if self.frag_stats is not None:
+            self.frag_stats.deletes += 1
+            self.frag_stats.records -= 1
         if leaf.is_empty and len(path) > 1:
             self._free_at_empty(path)
         return record
@@ -569,6 +595,8 @@ class BPlusTree:
         child = leaf.page_id
         self._log_apply(FreeRecord(page_id=child))
         self.store.deallocate(child)
+        if self.frag_stats is not None:
+            self.frag_stats.leaves -= 1
         for depth in range(len(path) - 2, -1, -1):
             parent = self.store.get_internal(path[depth])
             entry_key, _ = parent.entries[parent.index_of_child(child)]
@@ -598,6 +626,8 @@ class BPlusTree:
             self._log_apply(AllocRecord(page_id=new_root.page_id, kind="leaf"))
             self._log_apply(LeafFormatRecord(page_id=new_root.page_id, records=()))
             self.set_root(new_root.page_id)
+            if self.frag_stats is not None:
+                self.frag_stats.leaves += 1
 
     def _unlink_side_pointers(self, leaf: LeafPage) -> None:
         if self.side_pointers is SidePointerKind.NONE:

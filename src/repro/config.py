@@ -14,6 +14,7 @@ reorganizer, and a benchmark harness without aliasing surprises.
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass
 
 
@@ -131,6 +132,18 @@ class TreeConfig:
         placement_policy: which :class:`PlacementPolicyKind` passes 2 and 3
             use to choose target page ids.  ``KEY_ORDER`` (the default) is
             byte-identical to the historical behaviour.
+        leaf_gap_fraction: fraction of each leaf's capacity that bulk load
+            and the pass-1/2/3 rebuilds leave *empty* as an in-page gap
+            (BS-tree, arXiv:2505.01180): subsequent inserts land in the
+            reserved slack as in-place shifts instead of splitting.  The
+            gap is slack below whatever fill factor the builder asked for
+            — ``gapped_leaf_fill`` clamps the records-per-leaf count so at
+            least ``leaf_gap_slots`` slots stay free.  0.0 (the default)
+            reserves nothing and is byte-identical to the historical
+            layout.  All gap arithmetic flows through
+            :func:`leaf_gap_slots` / :func:`gapped_leaf_fill`; the build
+            and reorg paths never compute slack inline (enforced by the
+            ``gap-via-config`` lint rule).
     """
 
     leaf_capacity: int = 32
@@ -151,6 +164,7 @@ class TreeConfig:
     optimistic_reads: bool = False
     race_detector: bool = False
     placement_policy: PlacementPolicyKind = PlacementPolicyKind.KEY_ORDER
+    leaf_gap_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.leaf_capacity < 2:
@@ -172,6 +186,12 @@ class TreeConfig:
             raise ValueError("writeback_batch must be >= 1")
         if self.readahead_pages < 0:
             raise ValueError("readahead_pages must be >= 0 (0 disables)")
+        if not 0.0 <= self.leaf_gap_fraction < 1.0:
+            raise ValueError("leaf_gap_fraction must be in [0, 1)")
+        if self.leaf_capacity - leaf_gap_slots(self) < 1:
+            raise ValueError(
+                "leaf_gap_fraction leaves no usable record slot per leaf"
+            )
 
 
 @dataclass(frozen=True)
@@ -262,5 +282,102 @@ class ShardConfig:
                 raise ValueError("separators must be strictly increasing")
 
 
+def leaf_gap_slots(config: TreeConfig) -> int:
+    """Record slots reserved as in-page slack per rebuilt/bulk-loaded leaf.
+
+    The one canonical form of the gap arithmetic (the ``gap-via-config``
+    lint rule bans re-deriving it in the build/reorg paths):
+    ``floor(leaf_capacity * leaf_gap_fraction)``, with the same ``1e-9``
+    epsilon as the fill-count arithmetic so e.g. ``16 * 0.25`` cannot land
+    on 3 through floating-point noise.
+    """
+    return math.floor(config.leaf_capacity * config.leaf_gap_fraction + 1e-9)
+
+
+def gapped_leaf_fill(config: TreeConfig, fill: float) -> int:
+    """Records packed per leaf when building at ``fill`` under the gap.
+
+    This is ``fill_count(leaf_capacity, fill)`` clamped so at least
+    :func:`leaf_gap_slots` slots stay free: the gap wins over the requested
+    fill factor when the two conflict, and the result is never below one
+    record per leaf.  With ``leaf_gap_fraction == 0`` it reduces exactly to
+    the historical fill-count, keeping default-config layouts
+    byte-identical.
+    """
+    base = max(1, math.floor(config.leaf_capacity * fill + 1e-9))
+    return max(1, min(base, config.leaf_capacity - leaf_gap_slots(config)))
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Policy knobs of the fragmentation-aware auto-reorg daemon.
+
+    The daemon (:class:`repro.reorg.daemon.ReorgDaemon`) is a DES process
+    that polls each watched tree's live
+    :class:`repro.metrics.FragmentationStats` and triggers the paper's
+    three-pass reorganization when fragmentation (``1 - fill_factor``)
+    crosses a threshold — Bender et al.'s fragmentation bounds under
+    batched insertions (PAPERS.md) are what make a measured threshold a
+    sound trigger.
+
+    Attributes:
+        poll_interval: simulated time between metric polls.
+        frag_high: trigger threshold — a shard whose fragmentation is at
+            or above this (and which passes the deferral checks below)
+            gets a three-pass reorg.
+        frag_low: hysteresis re-arm level.  After a triggered reorg the
+            daemon will not fire again for that shard until its
+            fragmentation has first dropped to ``frag_low`` or below —
+            one reorg per crossing, not one per poll.
+        cooldown: minimum simulated time between daemon-triggered reorgs
+            of the same shard, independent of hysteresis.
+        min_leaves: shards with fewer live leaves than this are never
+            reorganized (a near-empty tree's fill factor is noise).
+        split_trigger: also trigger when the shard's leaf splits since its
+            last metrics baseline reach this count, regardless of fill
+            factor.  Every split allocates a leaf out of key order, so
+            split count is the live proxy for *disk-order scatter* — the
+            component of range-scan degradation that fill factor cannot
+            see.  0 disables the split path (fill-threshold only).
+        optimistic_burst_threshold: defer a shard's reorg for one poll
+            when more than this many optimistic reads
+            (:data:`repro.btree.protocols.OPTIMISTIC_STATS` searches +
+            scans) completed since the previous poll — a reorg in the
+            middle of a read-heavy burst converts every latch-free read
+            into a locked fallback.  0 disables the deferral.
+        max_triggers: stop triggering after this many daemon-initiated
+            reorgs in total (0 = unbounded); the poll loop keeps
+            sampling metrics either way.
+    """
+
+    poll_interval: float = 5.0
+    frag_high: float = 0.35
+    frag_low: float = 0.15
+    cooldown: float = 20.0
+    min_leaves: int = 2
+    split_trigger: int = 0
+    optimistic_burst_threshold: int = 0
+    max_triggers: int = 0
+
+    def __post_init__(self) -> None:
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be > 0")
+        if not 0.0 < self.frag_high < 1.0:
+            raise ValueError("frag_high must be in (0, 1)")
+        if not 0.0 <= self.frag_low <= self.frag_high:
+            raise ValueError("frag_low must be in [0, frag_high]")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        if self.min_leaves < 1:
+            raise ValueError("min_leaves must be >= 1")
+        if self.split_trigger < 0:
+            raise ValueError("split_trigger must be >= 0 (0 disables)")
+        if self.optimistic_burst_threshold < 0:
+            raise ValueError("optimistic_burst_threshold must be >= 0")
+        if self.max_triggers < 0:
+            raise ValueError("max_triggers must be >= 0 (0 = unbounded)")
+
+
 DEFAULT_TREE_CONFIG = TreeConfig()
 DEFAULT_REORG_CONFIG = ReorgConfig()
+DEFAULT_DAEMON_CONFIG = DaemonConfig()

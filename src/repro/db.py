@@ -22,8 +22,9 @@ from dataclasses import dataclass, field
 
 from repro.btree.bulkload import bulk_load
 from repro.btree.tree import BPlusTree
-from repro.config import TreeConfig
+from repro.config import TreeConfig, gapped_leaf_fill
 from repro.locks.manager import LockManager
+from repro.metrics import FragmentationStats
 from repro.storage.page import PageId, Record
 from repro.storage.store import StorageManager
 from repro.wal.log import LogManager
@@ -73,11 +74,18 @@ class Database:
         self.pass3 = Pass3State()
         #: Count of simulated crashes, for tests/metrics.
         self.crashes = 0
+        #: Per-tree-name live fragmentation trackers
+        #: (:class:`repro.metrics.FragmentationStats`), created lazily by
+        #: :meth:`frag_stats` and wired onto every handle :meth:`tree`
+        #: returns so the throwaway tree objects share one counter bag.
+        self.frag_trackers: dict[str, FragmentationStats] = {}
 
     # -- tree management ---------------------------------------------------------
 
     def create_tree(self, name: str = "primary") -> BPlusTree:
-        return BPlusTree.create(self.store, self.log, name=name)
+        tree = BPlusTree.create(self.store, self.log, name=name)
+        tree.frag_stats = self.frag_stats(name)
+        return tree
 
     def bulk_load_tree(
         self,
@@ -87,7 +95,7 @@ class Database:
         leaf_fill: float = 1.0,
         internal_fill: float = 1.0,
     ) -> BPlusTree:
-        return bulk_load(
+        tree = bulk_load(
             self.store,
             self.log,
             records,
@@ -95,9 +103,28 @@ class Database:
             leaf_fill=leaf_fill,
             internal_fill=internal_fill,
         )
+        tree.frag_stats = self.frag_stats(name)
+        return tree
+
+    def frag_stats(self, name: str = "primary") -> FragmentationStats:
+        """The live fragmentation tracker for ``name`` (created on demand).
+
+        Counters are deltas until :meth:`FragmentationStats.sync_from_tree`
+        baselines them — the auto-reorg daemon and the metrics tests sync;
+        the default path never pays the tree walk.
+        """
+        tracker = self.frag_trackers.get(name)
+        if tracker is None:
+            tracker = FragmentationStats(
+                leaf_capacity=gapped_leaf_fill(self.config, 1.0)
+            )
+            self.frag_trackers[name] = tracker
+        return tracker
 
     def tree(self, name: str = "primary") -> BPlusTree:
-        return BPlusTree.attach(self.store, self.log, name=name)
+        tree = BPlusTree.attach(self.store, self.log, name=name)
+        tree.frag_stats = self.frag_stats(name)
+        return tree
 
     def has_tree(self, name: str = "primary") -> bool:
         return self.store.disk.get_meta(f"root:{name}") is not None

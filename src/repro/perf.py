@@ -86,6 +86,38 @@ class PerfCounters:
         return self.lock_fast_grants / total if total else 0.0
 
 
+class GapStats:
+    """Leaf split / gap-absorption counters for the gapped-leaf layout.
+
+    Like the batched-I/O counters, these live *off* :class:`PerfCounters`
+    (whose ``__slots__`` snapshot keys are pinned by the BENCH baselines)
+    and out of :meth:`PerfRegistry.snapshot`; the ``churn_daemon`` bench
+    workload and the gapped-leaf tests read ``PERF.gap`` explicitly.
+    ``leaf_splits``/``internal_splits`` are bumped unconditionally (they
+    are what the gapped and ungapped runs are compared on);
+    ``absorbed_inserts`` counts inserts that landed in slack a gapless
+    layout would not have had, and ``gapped_leaves_built`` counts leaves
+    built with a non-zero reserved gap.
+    """
+
+    __slots__ = (
+        "leaf_splits",
+        "internal_splits",
+        "absorbed_inserts",
+        "gapped_leaves_built",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def snapshot(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
 class PerfTimers:
     """Wall-clock accumulation per named section (non-deterministic)."""
 
@@ -124,6 +156,9 @@ class PerfRegistry:
         #: BENCH baselines) and out of :meth:`snapshot`; the bench harness
         #: reads them explicitly via :meth:`shard_snapshot`.
         self.shards: dict[str, object] = {}
+        #: Split/absorption counters of the gapped-leaf layout; same
+        #: off-snapshot contract as :attr:`shards`.
+        self.gap = GapStats()
 
     def register_shard(self, name: str, stats: object) -> None:
         """Expose one shard's :class:`repro.metrics.ShardStats` here."""
@@ -138,6 +173,7 @@ class PerfRegistry:
         self.counters.reset()
         self.timers.reset()
         self.shards.clear()
+        self.gap.reset()
 
     def events_per_second(self) -> float:
         """DES throughput over the accumulated ``scheduler.run`` time."""

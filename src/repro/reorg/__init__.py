@@ -1,6 +1,11 @@
 """The reorganizer: the paper's three-pass on-line reorganization."""
 
 from repro.reorg.compact import LeafCompactor, Pass1Stats
+from repro.reorg.daemon import (
+    DaemonStats,
+    DaemonTarget,
+    ReorgDaemon,
+)
 from repro.reorg.parallel import (
     ParallelReorgProtocol,
     build_parallel_pass1,
@@ -12,6 +17,7 @@ from repro.reorg.placement import (
     TreeShape,
     bfs_to_veb,
     fill_count,
+    gapped_leaf_fill_count,
     make_policy,
     post_reorg_shape,
     veb_order,
@@ -24,7 +30,10 @@ from repro.reorg.switch import SwitchStats, Switcher, current_lock_name
 from repro.reorg.unit import UnitEngine, UnitResult
 
 __all__ = [
+    "DaemonStats",
+    "DaemonTarget",
     "LeafCompactor",
+    "ReorgDaemon",
     "ParallelReorgProtocol",
     "PlacementPolicy",
     "Pass1Stats",
@@ -45,6 +54,7 @@ __all__ = [
     "current_lock_name",
     "bfs_to_veb",
     "fill_count",
+    "gapped_leaf_fill_count",
     "find_free_page",
     "make_policy",
     "post_reorg_shape",

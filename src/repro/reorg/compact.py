@@ -26,7 +26,7 @@ from repro.config import ReorgConfig
 from repro.db import Database
 from repro.errors import ReorgError
 from repro.reorg.freespace import find_free_page
-from repro.reorg.placement import fill_count, make_policy
+from repro.reorg.placement import gapped_leaf_fill_count, make_policy
 from repro.reorg.unit import UnitEngine, UnitResult
 from repro.storage.page import PageId, PageKind
 from repro.storage.store import LEAF_EXTENT
@@ -135,8 +135,10 @@ class LeafCompactor:
             self.largest_finished = max(self.largest_finished, result.dest_page)
 
     def _target_records_per_page(self) -> int:
-        return fill_count(
-            self.db.store.config.leaf_capacity, self.config.target_fill
+        # Gap-aware: rebuilt leaves keep the configured slack free even
+        # when target_fill asks for more (identical when the gap is 0).
+        return gapped_leaf_fill_count(
+            self.db.store.config, self.config.target_fill
         )
 
     def _plan_groups(self, base_id: PageId, target: int) -> list[list[PageId]]:

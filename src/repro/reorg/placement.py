@@ -39,7 +39,7 @@ import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
-from repro.config import PlacementPolicyKind
+from repro.config import PlacementPolicyKind, TreeConfig, gapped_leaf_fill
 from repro.storage.page import PageId
 from repro.storage.store import INTERNAL_EXTENT
 
@@ -56,6 +56,7 @@ __all__ = [
     "TreeShape",
     "bfs_to_veb",
     "fill_count",
+    "gapped_leaf_fill_count",
     "make_policy",
     "post_reorg_shape",
     "predict_base_width",
@@ -74,6 +75,18 @@ def fill_count(capacity: int, fill: float) -> int:
     TreeShrinker`), bottom-up bulk loading, and the shape prediction below.
     """
     return max(1, math.floor(capacity * fill + 1e-9))
+
+
+def gapped_leaf_fill_count(config: TreeConfig, fill: float) -> int:
+    """Records per rebuilt *leaf* at ``fill``, honouring the leaf gap.
+
+    The placement-side name for :func:`repro.config.gapped_leaf_fill`:
+    pass 1's target-records-per-page and any gap-aware slot accounting go
+    through here (or the config helper directly) rather than re-deriving
+    the slack arithmetic — the ``gap-via-config`` lint rule pins that.
+    Internal levels are unaffected by the gap; they keep :func:`fill_count`.
+    """
+    return gapped_leaf_fill(config, fill)
 
 
 @dataclass(frozen=True)

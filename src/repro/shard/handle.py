@@ -19,10 +19,10 @@ reprolint rule), so a handle can only ever reach its own tree.
 from __future__ import annotations
 
 from repro.btree.tree import BPlusTree
-from repro.config import TreeConfig
+from repro.config import TreeConfig, gapped_leaf_fill
 from repro.db import Pass3State
 from repro.locks.manager import LockManager
-from repro.metrics import ShardStats
+from repro.metrics import FragmentationStats, ShardStats
 from repro.shard.store import ShardStore
 from repro.storage.page import Record
 from repro.wal.log import LogManager
@@ -56,6 +56,13 @@ class ShardHandle:
         #: resource, so switch drains never entangle other shards.
         self.sidefile_name = tree_name
         self.stats = ShardStats()
+        #: Live fill-factor/split-rate tracker for this shard's tree;
+        #: :meth:`tree` wires it onto every handle it returns, and the
+        #: auto-reorg daemon polls it (after a ``sync_from_tree``
+        #: baseline).
+        self.frag = FragmentationStats(
+            leaf_capacity=gapped_leaf_fill(config, 1.0)
+        )
 
     # -- tree access ---------------------------------------------------------
 
@@ -65,7 +72,9 @@ class ShardHandle:
                 f"shard {self.shard_index} owns tree {self.tree_name!r}, "
                 f"not {name!r} — route through the ShardedDatabase instead"
             )
-        return BPlusTree.attach(self.store, self.log, name=self.tree_name)
+        tree = BPlusTree.attach(self.store, self.log, name=self.tree_name)
+        tree.frag_stats = self.frag
+        return tree
 
     def has_tree(self, name: str | None = None) -> bool:
         target = name if name is not None else self.tree_name
@@ -86,7 +95,7 @@ class ShardHandle:
     ) -> BPlusTree:
         from repro.btree.bulkload import bulk_load
 
-        return bulk_load(
+        tree = bulk_load(
             self.store,
             self.log,
             records,
@@ -94,6 +103,8 @@ class ShardHandle:
             leaf_fill=leaf_fill,
             internal_fill=internal_fill,
         )
+        tree.frag_stats = self.frag
+        return tree
 
     def __repr__(self) -> str:
         return (

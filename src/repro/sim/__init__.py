@@ -1,6 +1,13 @@
 """Simulation: workloads, crash injection, concurrency driver, metrics."""
 
 from repro.sim.checkpointer import checkpointer
+from repro.sim.churn import (
+    ChurnResult,
+    ChurnSetup,
+    plan_churn,
+    run_churn_experiment,
+    scan_digest,
+)
 from repro.sim.crash import (
     CrashRunResult,
     LogCrashInjector,
@@ -20,6 +27,8 @@ from repro.sim.workload import (
 )
 
 __all__ = [
+    "ChurnResult",
+    "ChurnSetup",
     "CrashRunResult",
     "ExperimentSetup",
     "KeyPicker",
@@ -32,8 +41,11 @@ __all__ = [
     "collect_metrics",
     "count_completed_units",
     "crash_recover",
+    "plan_churn",
     "plan_workload",
     "prepare_database",
+    "run_churn_experiment",
     "run_concurrent_experiment",
     "run_reorg_with_crash",
+    "scan_digest",
 ]

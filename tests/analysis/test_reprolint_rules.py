@@ -1082,3 +1082,79 @@ class TestPinGuard:
         hints = [f for f in payload if f["rule"] == "pin-guard"]
         assert hints and all(f["severity"] == "hint" for f in hints)
         assert proc.returncode == 0
+
+
+# -- gap-via-config -----------------------------------------------------------
+
+
+class TestGapViaConfig:
+    def test_fires_on_direct_gap_fraction_use(self):
+        found = findings_for(
+            "src/repro/btree/bulkload.py",
+            """
+            def leaf_budget(config):
+                return int(config.leaf_capacity * (1 - config.leaf_gap_fraction))
+            """,
+            "gap-via-config",
+        )
+        assert rule_names(found) == {"gap-via-config"}
+        assert len(found) == 2  # the knob read and the capacity arithmetic
+
+    def test_fires_on_capacity_arithmetic_in_rebuild(self):
+        found = findings_for(
+            "src/repro/reorg/compact.py",
+            """
+            def target_records(self, fill):
+                return self.db.store.config.leaf_capacity - 4
+            """,
+            "gap-via-config",
+        )
+        assert rule_names(found) == {"gap-via-config"}
+
+    def test_quiet_on_helper_calls(self):
+        found = findings_for(
+            "src/repro/reorg/shrink.py",
+            """
+            from repro.config import gapped_leaf_fill, leaf_gap_slots
+
+            def target_records(config, fill):
+                if leaf_gap_slots(config) > 0:
+                    return gapped_leaf_fill(config, fill)
+                return gapped_leaf_fill(config, 1.0)
+            """,
+            "gap-via-config",
+        )
+        assert found == []
+
+    def test_quiet_on_plain_capacity_reads(self):
+        found = findings_for(
+            "src/repro/btree/bulkload.py",
+            """
+            def fits(config, n):
+                return n <= config.leaf_capacity
+            """,
+            "gap-via-config",
+        )
+        assert found == []
+
+    def test_quiet_outside_layout_builders(self):
+        source = """
+        def slack(config):
+            return config.leaf_capacity * config.leaf_gap_fraction
+        """
+        for path in (
+            "src/repro/config.py",  # the helpers' own home
+            "src/repro/btree/tree.py",
+            "tools/reprolint/rules.py",
+        ):
+            assert findings_for(path, source, "gap-via-config") == []
+
+    def test_layout_builders_are_clean(self):
+        from reprolint.engine import lint_paths
+
+        found = lint_paths(
+            ["src/repro/btree/bulkload.py", "src/repro/reorg"],
+            root=REPO_ROOT,
+            rules=["gap-via-config"],
+        )
+        assert found == []

@@ -365,6 +365,91 @@ def _build_optimistic_reader_vs_reorg() -> World:
     )
 
 
+# -- daemon-vs-readers --------------------------------------------------------------
+
+
+def _build_daemon_vs_readers() -> World:
+    """The fragmentation-aware auto-reorg daemon — not a manually spawned
+    reorganizer — decides from the live fill-factor metrics to run the
+    three-pass reorganization over a two-shard forest while latch-free
+    optimistic readers and a cross-shard range scan traverse it.  Both
+    pre-fragmented shards cross ``frag_high`` on the daemon's first poll,
+    so the daemon reorganizes them back-to-back inside its own transaction
+    with readers in flight.  Restricted to read-linearizability and
+    switch-safety for the same reasons as ``shard-reorg-scan`` (a forest
+    breaks the whole-tree invariants' assumptions) and
+    ``optimistic-reader-vs-reorg`` (latch-free readers have no locked
+    quiescent states)."""
+    import random
+
+    from repro.config import DaemonConfig, ShardConfig
+    from repro.reorg.daemon import ReorgDaemon
+    from repro.shard import ShardedDatabase
+
+    config = TreeConfig(
+        leaf_capacity=4,
+        internal_capacity=4,
+        leaf_extent_pages=64,
+        internal_extent_pages=32,
+        buffer_pool_pages=16,
+        optimistic_reads=True,
+    )
+    sdb = ShardedDatabase(config, ShardConfig(n_shards=2))
+    keys = list(range(32))
+    sdb.bulk_load([Record(k, "v") for k in keys])
+    for key in random.Random(23).sample(keys, 16):
+        sdb.delete(key)
+    sdb.flush()
+    sdb.checkpoint()
+    initial = frozenset(r.key for r in sdb.range_scan(0, 31))
+    scheduler = Scheduler(
+        sdb.locks, store=sdb.store, log=sdb.log, io_time=1.0, hit_time=0.05
+    )
+    daemon = ReorgDaemon.for_shards(
+        sdb,
+        DaemonConfig(
+            poll_interval=0.5,
+            frag_high=0.20,
+            frag_low=0.05,
+            cooldown=10.0,
+            max_triggers=2,
+        ),
+        ReorgConfig(do_swap_pass=False, stable_point_interval=3),
+        op_duration=0.3,
+        unit_pause=0.05,
+    )
+    daemon.spawn(scheduler, horizon=2.0)
+
+    ordered = sorted(initial)
+
+    def cross_shard_scan(low, high):
+        for handle in sdb.handles:
+            yield from reader_range_scan(
+                sdb, handle.tree_name, low, high, think_per_page=0.02
+            )
+
+    scheduler.spawn(
+        cross_shard_scan(ordered[0], ordered[-1]), name="scan-0", at=0.3
+    )
+    reads: dict[str, int] = {}
+    for index, key in enumerate((ordered[1], ordered[-2])):
+        handle = sdb.handles[sdb.router.shard_for(key)]
+        name = f"reader-{index}"
+        scheduler.spawn(
+            reader_search(sdb, handle.tree_name, key, think=0.05),
+            name=name, at=0.6 + 0.4 * index,
+        )
+        reads[name] = key
+    return World(
+        db=sdb,
+        scheduler=scheduler,
+        tree_name=sdb.handles[0].tree_name,
+        initial_keys=initial,
+        reads=reads,
+        expected_failures=_EXPECTED,
+    )
+
+
 def _build_deadlock_victim() -> World:
     """Minimal ABBA deadlock with the reorganizer on one side: every
     schedule that closes the cycle must pick the reorganizer as victim
@@ -441,6 +526,14 @@ SCENARIOS: dict[str, Scenario] = {
             "race a full three-pass reorganization (RX downgrade, restart "
             "on stamp mismatch, root bump at the switch)",
             build=_build_optimistic_reader_vs_reorg,
+            invariants=("read-linearizability", "switch-safety"),
+        ),
+        Scenario(
+            name="daemon-vs-readers",
+            description="the auto-reorg daemon triggers per-shard reorgs "
+            "from live fragmentation metrics while optimistic readers and "
+            "a cross-shard scan race the passes and switches",
+            build=_build_daemon_vs_readers,
             invariants=("read-linearizability", "switch-safety"),
         ),
         Scenario(

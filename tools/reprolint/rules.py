@@ -755,6 +755,65 @@ class PlacementViaPolicyRule(Rule):
 
 
 @register
+class GapViaConfigRule(Rule):
+    """Leaf gap sizing has exactly one home: the
+    :func:`repro.config.leaf_gap_slots` / :func:`repro.config.gapped_leaf_fill`
+    helpers (re-exported for rebuild code as
+    :func:`repro.reorg.placement.gapped_leaf_fill_count`).  The builders
+    that lay leaves out — bulk load and the pass 2/3 rebuild paths — must
+    route every per-leaf record count through those helpers, never
+    open-code slack arithmetic: two call sites each computing
+    ``leaf_capacity * (1 - fraction)`` with their own rounding is how a
+    bulk-loaded tree and a reorganized tree end up with different gaps.
+    Flagged in the layout builders: any mention of ``leaf_gap_fraction``
+    (only the config helpers may interpret the knob) and any arithmetic on
+    ``leaf_capacity`` (a capacity used directly is fine; a capacity summed
+    or scaled is a fill computation that belongs in the helpers)."""
+
+    name = "gap-via-config"
+    description = (
+        "leaf layout builders size gaps only via the TreeConfig helpers "
+        "(leaf_gap_slots / gapped_leaf_fill); no literal slack arithmetic"
+    )
+    include = (
+        "src/repro/btree/bulkload.py",
+        "src/repro/reorg/compact.py",
+        "src/repro/reorg/shrink.py",
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr == "leaf_gap_fraction"
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "layout builders must not interpret 'leaf_gap_fraction' "
+                    "themselves; call leaf_gap_slots()/gapped_leaf_fill() "
+                    "(repro/config.py) so every builder rounds the gap the "
+                    "same way",
+                )
+            elif isinstance(node, ast.BinOp):
+                for operand in (node.left, node.right):
+                    if (
+                        isinstance(operand, ast.Attribute)
+                        and operand.attr == "leaf_capacity"
+                    ):
+                        yield (
+                            node.lineno,
+                            node.col_offset,
+                            "arithmetic on 'leaf_capacity' in a layout "
+                            "builder is an open-coded fill/gap computation; "
+                            "route it through gapped_leaf_fill() "
+                            "(repro/config.py) or placement."
+                            "gapped_leaf_fill_count()",
+                        )
+                        break
+
+
+@register
 class PinGuardRule(Rule):
     """Pins taken outside a ``try/finally`` or ``with`` survive any
     exception raised before the matching ``unpin``; reproflow proves the
